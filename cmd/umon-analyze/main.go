@@ -1,0 +1,155 @@
+// umon-analyze is the offline µMon analyzer CLI: it ingests a mirror pcap
+// (VLAN-tagged CE packets with switch timestamps) and a directory of host
+// WaveSketch reports, detects congestion events, prints their
+// distribution, and replays the most significant event.
+//
+// Usage:
+//
+//	umon-analyze -mirrors out/mirrors.pcap -reports out/ [-gap-us 50] [-top 10]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"umon/internal/analyzer"
+	"umon/internal/measure"
+	"umon/internal/pcapio"
+	"umon/internal/report"
+)
+
+func main() {
+	mirrors := flag.String("mirrors", "", "mirror pcap from umon-sim (required)")
+	reports := flag.String("reports", "", "directory of .umon host reports")
+	gapUs := flag.Int64("gap-us", 50, "event clustering gap in microseconds")
+	top := flag.Int("top", 10, "events to list")
+	replayMarginUs := flag.Int64("replay-margin-us", 250, "replay margin around the event")
+	flag.Parse()
+
+	if *mirrors == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*mirrors, *reports, *gapUs*1000, *top, *replayMarginUs*1000); err != nil {
+		fmt.Fprintln(os.Stderr, "umon-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mirrorPath, reportDir string, gapNs int64, top int, replayMarginNs int64) error {
+	a := analyzer.New()
+
+	f, err := os.Open(mirrorPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd, err := pcapio.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", mirrorPath, err)
+	}
+	pkts, err := rd.ReadAll()
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", mirrorPath, err)
+	}
+	var badMirror int
+	for _, p := range pkts {
+		if err := a.AddMirrorPacket(p.Data); err != nil {
+			badMirror++
+		}
+	}
+	fmt.Printf("mirrors       %d packets ingested, %d unparseable\n", a.Mirrors(), badMirror)
+
+	if reportDir != "" {
+		entries, err := filepath.Glob(filepath.Join(reportDir, "*.umon"))
+		if err != nil {
+			return err
+		}
+		sort.Strings(entries)
+		for _, path := range entries {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			rep, err := report.Decode(bytes.NewReader(raw))
+			if err != nil {
+				return fmt.Errorf("decoding %s: %w", path, err)
+			}
+			a.AddReport(rep)
+		}
+		fmt.Printf("reports       %d ingested from %s\n", len(entries), reportDir)
+	}
+
+	events := a.DetectEvents(gapNs)
+	stats := analyzer.Durations(events)
+	fmt.Printf("events        %d detected (gap %dus)\n", stats.Count, gapNs/1000)
+	if stats.Count == 0 {
+		return nil
+	}
+	fmt.Printf("durations     p50 %.0fus  p90 %.0fus  p99 %.0fus  max %.0fus\n",
+		float64(stats.P50Ns)/1000, float64(stats.P90Ns)/1000,
+		float64(stats.P99Ns)/1000, float64(stats.MaxNs)/1000)
+
+	// Top events by mirrored packets.
+	sorted := append([]analyzer.Event(nil), events...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Packets > sorted[j].Packets })
+	if top > len(sorted) {
+		top = len(sorted)
+	}
+	fmt.Println("\ntop events:")
+	for i := 0; i < top; i++ {
+		ev := sorted[i]
+		fmt.Printf("  %2d. sw%d/p%d  t=%.0f-%.0fus  %d pkts  %d flows\n",
+			i+1, ev.Port.Switch, ev.Port.Port,
+			float64(ev.StartNs)/1000, float64(ev.EndNs)/1000, ev.Packets, len(ev.Flows))
+	}
+
+	// Replay the biggest event if rate curves are available.
+	best := sorted[0]
+	view := a.Replay(best, replayMarginNs)
+	var active int
+	for _, c := range view.Curves {
+		for _, v := range c {
+			if v > 0 {
+				active++
+				break
+			}
+		}
+	}
+	if active == 0 {
+		fmt.Println("\nno rate curves available for replay (pass -reports)")
+		return nil
+	}
+	fmt.Printf("\nreplay of the largest event (%s):\n", best.String())
+	flows := best.Flows
+	if len(flows) > 4 {
+		flows = flows[:4]
+	}
+	header := fmt.Sprintf("  %-12s", "window")
+	for i := range flows {
+		header += fmt.Sprintf("  flow%-2d(Gbps)", i)
+	}
+	fmt.Println(header)
+	step := view.Windows / 24
+	if step < 1 {
+		step = 1
+	}
+	for w := 0; w < view.Windows; w += step {
+		line := fmt.Sprintf("  %-12d", view.WindowStart+int64(w))
+		for _, fk := range flows {
+			line += fmt.Sprintf("  %-12.2f", analyzer.RateGbps(view.Curves[fk][w]))
+		}
+		marker := ""
+		abs := (view.WindowStart + int64(w)) * measure.WindowNanos
+		if abs >= best.StartNs && abs <= best.EndNs {
+			marker = "  <- event"
+		}
+		fmt.Println(strings.TrimRight(line, " ") + marker)
+	}
+	return nil
+}

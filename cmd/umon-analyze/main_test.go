@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"umon/internal/flowkey"
+	"umon/internal/netsim"
+	"umon/internal/pcapio"
+	"umon/internal/uevent"
+)
+
+// writeMirrorPcap fabricates a small mirror capture.
+func writeMirrorPcap(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := pcapio.NewWriter(f, 0)
+	flow := flowkey.Key{SrcIP: 0x0a000101, DstIP: 0x0a000201, SrcPort: 9, DstPort: 4791, Proto: 17}
+	for i := int64(0); i < 20; i++ {
+		rec := uevent.MirrorRecord{
+			Port:        netsim.PortID{Switch: 2, Port: 1},
+			TimestampNs: 100_000 + i*5_000,
+			PSN:         uint32(i * 64),
+			OrigBytes:   1058, WireBytes: 1058,
+			Flow: flow,
+		}
+		if err := w.WritePacket(pcapio.Packet{
+			TimestampNs: rec.TimestampNs,
+			Data:        uevent.EncodeMirrorPacket(rec),
+			OrigLen:     1058,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAnalyzeRuns(t *testing.T) {
+	dir := t.TempDir()
+	pcap := filepath.Join(dir, "mirrors.pcap")
+	writeMirrorPcap(t, pcap)
+	if err := run(pcap, "", 50_000, 5, 100_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "nope.pcap"), "", 1000, 1, 1000); err == nil {
+		t.Error("missing capture must fail")
+	}
+}
+
+func TestAnalyzeGarbageCapture(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.pcap")
+	os.WriteFile(path, []byte("not a pcap"), 0o644)
+	if err := run(path, "", 1000, 1, 1000); err == nil {
+		t.Error("garbage capture must fail")
+	}
+}

@@ -1,0 +1,68 @@
+// umon-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	umon-bench [-run fig11,fig14] [-ms 20] [-seed 42] [-list]
+//
+// With no -run it executes every registered experiment in presentation
+// order, sharing the cached fat-tree simulations across them. -ms scales
+// the trace duration (the paper uses 20 ms traces; smaller values are
+// useful for smoke runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"umon/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	ms := flag.Int64("ms", 20, "trace duration in milliseconds")
+	seed := flag.Int64("seed", 42, "workload/marking seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	cache := experiments.NewCache(experiments.Options{DurationNs: *ms * 1_000_000, Seed: *seed})
+	runner := experiments.NewRunner(cache)
+
+	var ids []string
+	if *run == "" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		start := time.Now()
+		tab, err := runner.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "umon-bench: %s: %v\n", id, err)
+			failed++
+			continue
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

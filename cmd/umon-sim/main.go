@@ -1,0 +1,190 @@
+// umon-sim runs a µMon-instrumented data-center simulation and exports
+// its artifacts: the mirrored event packets as a pcap capture, the host
+// WaveSketch reports as files, and a summary of the run.
+//
+// Usage:
+//
+//	umon-sim -workload hadoop -load 0.15 -ms 20 -out out/
+//
+// The outputs feed umon-analyze:
+//
+//	umon-analyze -mirrors out/mirrors.pcap -reports out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"umon/internal/core"
+	"umon/internal/netsim"
+	"umon/internal/packet"
+	"umon/internal/pcapio"
+	"umon/internal/uevent"
+	"umon/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "hadoop", "workload: hadoop or websearch")
+	load := flag.Float64("load", 0.15, "target link load (0-1)")
+	ms := flag.Int64("ms", 20, "traffic duration in milliseconds")
+	seed := flag.Int64("seed", 42, "generation seed")
+	sampleBits := flag.Uint("sample-bits", 6, "event sampling: probability 1/2^bits")
+	outDir := flag.String("out", "umon-out", "output directory")
+	tracePcap := flag.Bool("trace-pcap", false, "also dump host egress traffic (headers) as traffic.pcap")
+	flag.Parse()
+
+	if err := run(*wl, *load, *ms, *seed, *sampleBits, *outDir, *tracePcap); err != nil {
+		fmt.Fprintln(os.Stderr, "umon-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string, tracePcap bool) error {
+	var dist *workload.Distribution
+	switch strings.ToLower(wl) {
+	case "hadoop":
+		dist = workload.FacebookHadoop()
+	case "websearch":
+		dist = workload.WebSearch()
+	default:
+		return fmt.Errorf("unknown workload %q (want hadoop or websearch)", wl)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+
+	topo, err := netsim.FatTree(4)
+	if err != nil {
+		return err
+	}
+	cfg := netsim.DefaultConfig(topo)
+	cfg.Seed = uint64(seed)
+	flows, err := workload.Generate(workload.Config{
+		Dist: dist, Load: load, Hosts: topo.Hosts,
+		LinkBps: cfg.LinkBps, DurationNs: ms * 1_000_000, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	n, err := netsim.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Deploy µMon: reports to files, mirrors to pcap.
+	mirrorFile, err := os.Create(filepath.Join(outDir, "mirrors.pcap"))
+	if err != nil {
+		return err
+	}
+	defer mirrorFile.Close()
+	mirrorW := pcapio.NewWriter(mirrorFile, 0)
+
+	sysCfg := core.DefaultSystem()
+	sysCfg.Host.PeriodNs = ms * 1_000_000
+	sysCfg.Switch.Rule = uevent.ACLRule{SampleBits: sampleBits}
+
+	var reportSeq int
+	var pipelineErr error
+	hosts := make([]*core.HostMonitor, topo.Hosts)
+	for h := 0; h < topo.Hosts; h++ {
+		hm, err := core.NewHostMonitor(h, sysCfg.Host, func(host int, encoded []byte) {
+			name := filepath.Join(outDir, fmt.Sprintf("report-h%02d-%03d.umon", host, reportSeq))
+			reportSeq++
+			if err := os.WriteFile(name, encoded, 0o644); err != nil && pipelineErr == nil {
+				pipelineErr = err
+			}
+		})
+		if err != nil {
+			return err
+		}
+		hosts[h] = hm
+	}
+	switches := make([]*core.SwitchMonitor, topo.Switches)
+	for sw := 0; sw < topo.Switches; sw++ {
+		switches[sw] = core.NewSwitchMonitor(int16(sw), sysCfg.Switch, nil)
+	}
+	n.OnHostEgress = func(host int, pkt *netsim.Packet, now int64) {
+		if err := hosts[host].OnPacket(pkt.Flow, now, int(pkt.Size)); err != nil && pipelineErr == nil {
+			pipelineErr = err
+		}
+	}
+	n.OnSwitchCE = func(sw, port int16, pkt *netsim.Packet, now int64) {
+		if !sysCfg.Switch.Rule.Matches(true, pkt.PSN) {
+			return
+		}
+		wire := uevent.EncodeMirrorPacket(uevent.MirrorRecord{
+			Port:        netsim.PortID{Switch: sw, Port: port},
+			TimestampNs: now,
+			PSN:         pkt.PSN,
+			OrigBytes:   pkt.Size,
+			WireBytes:   pkt.Size,
+			Flow:        pkt.Flow,
+		})
+		if err := mirrorW.WritePacket(pcapio.Packet{
+			TimestampNs: now, Data: wire, OrigLen: len(wire),
+		}); err != nil && pipelineErr == nil {
+			pipelineErr = err
+		}
+	}
+
+	var trafficW *pcapio.Writer
+	if tracePcap {
+		f, err := os.Create(filepath.Join(outDir, "traffic.pcap"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		trafficW = pcapio.NewWriter(f, 128)
+		prev := n.OnHostEgress
+		n.OnHostEgress = func(host int, pkt *netsim.Packet, now int64) {
+			prev(host, pkt, now)
+			frame := packet.EncodeData(&packet.Data{
+				Flow: pkt.Flow, PSN: pkt.PSN, CE: pkt.CE, WireLen: int(pkt.Size),
+			}, 0)
+			if err := trafficW.WritePacket(pcapio.Packet{
+				TimestampNs: now, Data: frame, OrigLen: int(pkt.Size),
+			}); err != nil && pipelineErr == nil {
+				pipelineErr = err
+			}
+		}
+	}
+
+	for _, f := range flows {
+		if _, err := n.AddFlow(netsim.FlowSpec{Src: f.Src, Dst: f.Dst, Bytes: f.Bytes, StartNs: f.StartNs}); err != nil {
+			return err
+		}
+	}
+	horizon := ms*1_000_000 + ms*100_000
+	tr := n.Run(horizon)
+	for _, hm := range hosts {
+		if err := hm.Flush(); err != nil {
+			return err
+		}
+	}
+	if err := mirrorW.Flush(); err != nil {
+		return err
+	}
+	if trafficW != nil {
+		if err := trafficW.Flush(); err != nil {
+			return err
+		}
+	}
+	if pipelineErr != nil {
+		return pipelineErr
+	}
+
+	var reportBytes int64
+	for _, hm := range hosts {
+		b, _ := hm.Stats()
+		reportBytes += b
+	}
+	fmt.Printf("workload      %s %.0f%% load, %d flows, %d packets\n", dist.Name, load*100, len(flows), tr.TotalPackets())
+	fmt.Printf("events        %d ground-truth episodes, %d CE observations\n", len(tr.Episodes), len(tr.CELog))
+	fmt.Printf("reports       %d files, %d bytes (%.2f Mbps/host avg)\n", reportSeq, reportBytes,
+		float64(reportBytes)*8/float64(horizon)*1e9/1e6/float64(topo.Hosts))
+	fmt.Printf("output        %s\n", outDir)
+	return nil
+}

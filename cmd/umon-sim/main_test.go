@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"umon/internal/pcapio"
+)
+
+func TestRunProducesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("hadoop", 0.15, 2, 7, 4, dir, true); err != nil {
+		t.Fatal(err)
+	}
+	// Mirror pcap exists and parses.
+	f, err := os.Open(filepath.Join(dir, "mirrors.pcap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rd, err := pcapio.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) == 0 {
+		t.Error("no mirrored packets captured")
+	}
+	// Reports exist.
+	reports, _ := filepath.Glob(filepath.Join(dir, "*.umon"))
+	if len(reports) == 0 {
+		t.Error("no report files written")
+	}
+	// Traffic pcap exists and parses.
+	tf, err := os.Open(filepath.Join(dir, "traffic.pcap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	trd, err := pcapio.NewReader(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := trd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp) == 0 {
+		t.Error("no traffic packets captured")
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	if err := run("netflix", 0.15, 1, 7, 4, t.TempDir(), false); err == nil {
+		t.Error("unknown workload must fail")
+	}
+}

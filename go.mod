@@ -1,0 +1,3 @@
+module umon
+
+go 1.22

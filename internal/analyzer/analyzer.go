@@ -1,0 +1,292 @@
+// Package analyzer implements the µMon analyzer (§6): it ingests the
+// WaveSketch reports uploaded by hosts and the mirrored event packets from
+// switches, aligns them on the synchronized timeline, clusters mirrors into
+// congestion events, and replays events by querying the rate curves of the
+// flows involved around the event window — the Figure 10 workflow.
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+
+	"umon/internal/flowkey"
+	"umon/internal/measure"
+	"umon/internal/netsim"
+	"umon/internal/packet"
+	"umon/internal/report"
+	"umon/internal/uevent"
+)
+
+// Event is a congestion event reconstructed from mirrored packets: a
+// cluster of CE observations on one switch port.
+type Event struct {
+	Port    netsim.PortID
+	StartNs int64
+	EndNs   int64
+	Packets int
+	Bytes   int64
+	// Flows lists the distinct flows seen in the cluster, most packets
+	// first.
+	Flows []flowkey.Key
+}
+
+// DurationNs returns the event span.
+func (e *Event) DurationNs() int64 { return e.EndNs - e.StartNs }
+
+func (e *Event) String() string {
+	return fmt.Sprintf("event sw%d/p%d [%d..%d]ns %d pkts %d flows",
+		e.Port.Switch, e.Port.Port, e.StartNs, e.EndNs, e.Packets, len(e.Flows))
+}
+
+// Analyzer accumulates measurement inputs.
+type Analyzer struct {
+	reports []*report.Queryable
+	mirrors []uevent.MirrorRecord
+	// offsets holds per-switch clock offset estimates subtracted from
+	// mirror timestamps (from the time-sync deployment); nil means
+	// already-aligned clocks.
+	switchOffsets map[int16]int64
+}
+
+// New returns an empty analyzer.
+func New() *Analyzer {
+	return &Analyzer{switchOffsets: make(map[int16]int64)}
+}
+
+// SetSwitchOffset registers a clock-offset estimate for one switch.
+func (a *Analyzer) SetSwitchOffset(sw int16, offsetNs int64) {
+	a.switchOffsets[sw] = offsetNs
+}
+
+// AddReport ingests one host's decoded WaveSketch report.
+func (a *Analyzer) AddReport(r *report.HostReport) {
+	a.reports = append(a.reports, report.NewQueryable(r))
+}
+
+// AddMirror ingests one mirror record.
+func (a *Analyzer) AddMirror(m uevent.MirrorRecord) {
+	if off, ok := a.switchOffsets[m.Port.Switch]; ok && off != 0 {
+		m.TimestampNs -= off
+	}
+	a.mirrors = append(a.mirrors, m)
+}
+
+// AddMirrors ingests a batch.
+func (a *Analyzer) AddMirrors(ms []uevent.MirrorRecord) {
+	for _, m := range ms {
+		a.AddMirror(m)
+	}
+}
+
+// AddMirrorPacket parses one on-the-wire mirrored packet (VLAN-tagged,
+// timestamp-trailed) and ingests it.
+func (a *Analyzer) AddMirrorPacket(b []byte) error {
+	m, err := packet.DecodeMirror(b)
+	if err != nil {
+		return err
+	}
+	if !m.CE {
+		return fmt.Errorf("analyzer: mirrored packet without CE mark (flow %s)", m.Flow)
+	}
+	a.AddMirror(uevent.MirrorRecord{
+		Port:        uevent.PortForVLAN(m.VLANID),
+		TimestampNs: m.TimestampNs,
+		PSN:         m.PSN,
+		OrigBytes:   int32(m.OrigLen),
+		WireBytes:   int32(m.OrigLen),
+		Flow:        m.Flow,
+	})
+	return nil
+}
+
+// Mirrors reports how many mirror records have been ingested.
+func (a *Analyzer) Mirrors() int { return len(a.mirrors) }
+
+// DetectEvents clusters the mirrors per port: observations separated by
+// less than gapNs belong to one event. Typical gapNs is a few tens of
+// microseconds — queues drain within that once marking stops.
+func (a *Analyzer) DetectEvents(gapNs int64) []Event {
+	if gapNs <= 0 {
+		gapNs = 50_000
+	}
+	perPort := make(map[netsim.PortID][]uevent.MirrorRecord)
+	for _, m := range a.mirrors {
+		perPort[m.Port] = append(perPort[m.Port], m)
+	}
+	var events []Event
+	for port, ms := range perPort {
+		sort.Slice(ms, func(i, j int) bool { return ms[i].TimestampNs < ms[j].TimestampNs })
+		var cur *Event
+		flowPkts := make(map[flowkey.Key]int)
+		flush := func() {
+			if cur == nil {
+				return
+			}
+			cur.Flows = rankFlows(flowPkts)
+			events = append(events, *cur)
+			cur = nil
+			clear(flowPkts)
+		}
+		for _, m := range ms {
+			if cur != nil && m.TimestampNs-cur.EndNs > gapNs {
+				flush()
+			}
+			if cur == nil {
+				cur = &Event{Port: port, StartNs: m.TimestampNs, EndNs: m.TimestampNs}
+			}
+			cur.EndNs = m.TimestampNs
+			cur.Packets++
+			cur.Bytes += int64(m.OrigBytes)
+			flowPkts[m.Flow]++
+		}
+		flush()
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].StartNs != events[j].StartNs {
+			return events[i].StartNs < events[j].StartNs
+		}
+		return lessPort(events[i].Port, events[j].Port)
+	})
+	return events
+}
+
+func lessPort(a, b netsim.PortID) bool {
+	if a.Switch != b.Switch {
+		return a.Switch < b.Switch
+	}
+	return a.Port < b.Port
+}
+
+func rankFlows(pkts map[flowkey.Key]int) []flowkey.Key {
+	type fc struct {
+		k flowkey.Key
+		n int
+	}
+	fs := make([]fc, 0, len(pkts))
+	for k, n := range pkts {
+		fs = append(fs, fc{k, n})
+	}
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].n != fs[j].n {
+			return fs[i].n > fs[j].n
+		}
+		return fs[i].k.String() < fs[j].k.String()
+	})
+	out := make([]flowkey.Key, len(fs))
+	for i, f := range fs {
+		out[i] = f.k
+	}
+	return out
+}
+
+// QueryFlow estimates flow f's per-window byte counts over [from, to)
+// windows by merging all host reports: a flow is measured at its sender,
+// so the maximum across reports selects the one that actually saw it while
+// staying robust to empty reports.
+func (a *Analyzer) QueryFlow(f flowkey.Key, from, to int64) []float64 {
+	if to < from {
+		to = from
+	}
+	out := make([]float64, to-from)
+	for _, q := range a.reports {
+		cur := q.QueryRange(f, from, to)
+		for i, v := range cur {
+			if v > out[i] {
+				out[i] = v
+			}
+		}
+	}
+	return out
+}
+
+// ReplayView is the Figure 10c artifact: the rate curves of an event's
+// flows around the event occurrence.
+type ReplayView struct {
+	Event       Event
+	WindowStart int64 // absolute window id of Curves[.][0]
+	Windows     int
+	// Curves maps each event flow to its per-window byte counts.
+	Curves map[flowkey.Key][]float64
+}
+
+// Replay queries every flow involved in the event over the event span
+// extended by marginNs on both sides (§6.1: "the rate of several windows
+// before and after the event can be queried").
+func (a *Analyzer) Replay(ev Event, marginNs int64) *ReplayView {
+	from := measure.WindowOf(ev.StartNs-marginNs) - 1
+	if from < 0 {
+		from = 0
+	}
+	to := measure.WindowOf(ev.EndNs+marginNs) + 2
+	view := &ReplayView{
+		Event:       ev,
+		WindowStart: from,
+		Windows:     int(to - from),
+		Curves:      make(map[flowkey.Key][]float64, len(ev.Flows)),
+	}
+	for _, f := range ev.Flows {
+		view.Curves[f] = a.QueryFlow(f, from, to)
+	}
+	return view
+}
+
+// RateGbps converts per-window byte counts into Gbps at the default
+// 8.192 µs window.
+func RateGbps(bytesPerWindow float64) float64 {
+	return bytesPerWindow * 8 / float64(measure.WindowNanos)
+}
+
+// DurationStats summarizes event durations (Figure 10b's CDF).
+type DurationStats struct {
+	Count     int
+	P50Ns     int64
+	P90Ns     int64
+	P99Ns     int64
+	MaxNs     int64
+	Durations []int64 // ascending
+}
+
+// Durations computes the event-duration distribution.
+func Durations(events []Event) DurationStats {
+	ds := make([]int64, 0, len(events))
+	for i := range events {
+		ds = append(ds, events[i].DurationNs())
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	st := DurationStats{Count: len(ds), Durations: ds}
+	if len(ds) == 0 {
+		return st
+	}
+	at := func(q float64) int64 {
+		i := int(q * float64(len(ds)-1))
+		return ds[i]
+	}
+	st.P50Ns, st.P90Ns, st.P99Ns = at(0.50), at(0.90), at(0.99)
+	st.MaxNs = ds[len(ds)-1]
+	return st
+}
+
+// LocationPoint is one mark of the Figure 10a time-location map.
+type LocationPoint struct {
+	TimeNs int64
+	LinkID int // dense id per (switch, port)
+}
+
+// LocationMap flattens events into plottable (time, link) points and
+// returns the link-id legend.
+func LocationMap(events []Event) ([]LocationPoint, map[int]netsim.PortID) {
+	ids := make(map[netsim.PortID]int)
+	legend := make(map[int]netsim.PortID)
+	var pts []LocationPoint
+	for i := range events {
+		p := events[i].Port
+		id, ok := ids[p]
+		if !ok {
+			id = len(ids)
+			ids[p] = id
+			legend[id] = p
+		}
+		pts = append(pts, LocationPoint{TimeNs: events[i].StartNs, LinkID: id})
+	}
+	return pts, legend
+}

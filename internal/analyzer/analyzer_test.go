@@ -1,0 +1,414 @@
+package analyzer
+
+import (
+	"math"
+	"testing"
+
+	"umon/internal/flowkey"
+	"umon/internal/measure"
+	"umon/internal/netsim"
+	"umon/internal/report"
+	"umon/internal/uevent"
+	"umon/internal/wavesketch"
+)
+
+func key(i int) flowkey.Key {
+	return flowkey.Key{
+		SrcIP: 0x0a000101 + uint32(i), DstIP: 0x0a000f01,
+		SrcPort: uint16(40000 + i), DstPort: flowkey.RoCEPort, Proto: flowkey.ProtoUDP,
+	}
+}
+
+func mirror(ns int64, sw, port int16, f flowkey.Key) uevent.MirrorRecord {
+	return uevent.MirrorRecord{
+		Port: netsim.PortID{Switch: sw, Port: port}, TimestampNs: ns,
+		OrigBytes: 1058, WireBytes: 1058, Flow: f,
+	}
+}
+
+func TestDetectEventsClustersByGap(t *testing.T) {
+	a := New()
+	f1, f2 := key(1), key(2)
+	// Two bursts on sw0/p0 separated by 1 ms, one burst on sw1/p1.
+	for i := int64(0); i < 5; i++ {
+		a.AddMirror(mirror(1000+i*10_000, 0, 0, f1))
+	}
+	for i := int64(0); i < 3; i++ {
+		a.AddMirror(mirror(2_000_000+i*10_000, 0, 0, f2))
+	}
+	a.AddMirror(mirror(500_000, 1, 1, f1))
+	if a.Mirrors() != 9 {
+		t.Fatalf("mirrors = %d, want 9", a.Mirrors())
+	}
+
+	events := a.DetectEvents(50_000)
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3: %v", len(events), events)
+	}
+	// Sorted by start time.
+	if events[0].StartNs != 1000 || events[0].Packets != 5 {
+		t.Errorf("first event = %+v", events[0])
+	}
+	if events[1].Port != (netsim.PortID{Switch: 1, Port: 1}) {
+		t.Errorf("second event port = %v", events[1].Port)
+	}
+	if events[2].Packets != 3 || events[2].Flows[0] != f2 {
+		t.Errorf("third event = %+v", events[2])
+	}
+	if events[0].DurationNs() != 40_000 {
+		t.Errorf("duration = %d, want 40000", events[0].DurationNs())
+	}
+	if events[0].String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestDetectEventsRanksFlowsByPackets(t *testing.T) {
+	a := New()
+	big, small := key(1), key(2)
+	for i := int64(0); i < 10; i++ {
+		a.AddMirror(mirror(i*1000, 0, 0, big))
+	}
+	a.AddMirror(mirror(5_000, 0, 0, small))
+	ev := a.DetectEvents(0)[0]
+	if len(ev.Flows) != 2 || ev.Flows[0] != big {
+		t.Errorf("flow ranking = %v, want big flow first", ev.Flows)
+	}
+}
+
+func TestSwitchOffsetAlignment(t *testing.T) {
+	a := New()
+	a.SetSwitchOffset(3, 500)
+	a.AddMirror(mirror(10_500, 3, 0, key(1)))
+	ev := a.DetectEvents(0)
+	if ev[0].StartNs != 10_000 {
+		t.Errorf("aligned start = %d, want 10000", ev[0].StartNs)
+	}
+}
+
+func TestAddMirrorPacket(t *testing.T) {
+	a := New()
+	rec := mirror(777_000, 2, 1, key(4))
+	if err := a.AddMirrorPacket(uevent.EncodeMirrorPacket(rec)); err != nil {
+		t.Fatal(err)
+	}
+	ev := a.DetectEvents(0)
+	if len(ev) != 1 || ev[0].Port != rec.Port || ev[0].StartNs != 777_000 {
+		t.Errorf("decoded event = %+v", ev)
+	}
+	if err := a.AddMirrorPacket([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage packet must be rejected")
+	}
+}
+
+func TestReplayQueriesEventFlows(t *testing.T) {
+	// Build a host report with one flow ramping down mid-trace, then
+	// replay an event placed at the rate drop.
+	s, _ := wavesketch.NewBasic(wavesketch.Default(64))
+	f := key(1)
+	for w := int64(0); w < 256; w++ {
+		v := int64(8192) // ~8 Gbps
+		if w >= 128 {
+			v = 2048
+		}
+		s.Update(f, w, v)
+	}
+	s.Seal()
+
+	a := New()
+	a.AddReport(report.FromBasic(0, 0, s))
+	evNs := int64(128) * measure.WindowNanos
+	a.AddMirror(mirror(evNs, 0, 0, f))
+	events := a.DetectEvents(0)
+	view := a.Replay(events[0], 20*measure.WindowNanos)
+	curve, ok := view.Curves[f]
+	if !ok {
+		t.Fatal("replay lacks the event flow")
+	}
+	if view.Windows != len(curve) {
+		t.Fatalf("view windows %d != curve len %d", view.Windows, len(curve))
+	}
+	// The curve must show the drop: early windows ≈ 8192, late ≈ 2048.
+	first := curve[0]
+	last := curve[len(curve)-1]
+	if math.Abs(first-8192) > 500 || math.Abs(last-2048) > 500 {
+		t.Errorf("replay edges = %v / %v, want ≈8192 / ≈2048", first, last)
+	}
+	// Rate conversion: 8192 B per 8.192 µs = 8 Gbps.
+	if got := RateGbps(8192); math.Abs(got-8) > 1e-9 {
+		t.Errorf("RateGbps(8192) = %v, want 8", got)
+	}
+}
+
+func TestQueryFlowMergesReports(t *testing.T) {
+	mk := func(host int, f flowkey.Key, w int64, v int64) *report.HostReport {
+		s, _ := wavesketch.NewBasic(wavesketch.Default(16))
+		s.Update(f, w, v)
+		s.Seal()
+		return report.FromBasic(host, 0, s)
+	}
+	a := New()
+	a.AddReport(mk(0, key(1), 10, 100))
+	a.AddReport(mk(1, key(2), 12, 200))
+	got := a.QueryFlow(key(1), 10, 13)
+	if got[0] != 100 || got[1] != 0 {
+		t.Errorf("flow 1 = %v", got)
+	}
+	got = a.QueryFlow(key(2), 10, 13)
+	if got[2] != 200 {
+		t.Errorf("flow 2 = %v", got)
+	}
+	if got := a.QueryFlow(key(9), 5, 3); len(got) != 0 {
+		t.Errorf("inverted range should be empty")
+	}
+}
+
+func TestDurations(t *testing.T) {
+	if st := Durations(nil); st.Count != 0 {
+		t.Error("empty stats should have zero count")
+	}
+	var events []Event
+	for i := int64(1); i <= 100; i++ {
+		events = append(events, Event{StartNs: 0, EndNs: i * 1000})
+	}
+	st := Durations(events)
+	if st.Count != 100 || st.MaxNs != 100_000 {
+		t.Errorf("count/max = %d/%d", st.Count, st.MaxNs)
+	}
+	if st.P50Ns < 40_000 || st.P50Ns > 60_000 {
+		t.Errorf("p50 = %d", st.P50Ns)
+	}
+	if st.P99Ns < st.P90Ns || st.P90Ns < st.P50Ns {
+		t.Error("quantiles must be monotone")
+	}
+}
+
+func TestLocationMap(t *testing.T) {
+	events := []Event{
+		{Port: netsim.PortID{Switch: 0, Port: 1}, StartNs: 100},
+		{Port: netsim.PortID{Switch: 2, Port: 0}, StartNs: 200},
+		{Port: netsim.PortID{Switch: 0, Port: 1}, StartNs: 300},
+	}
+	pts, legend := LocationMap(events)
+	if len(pts) != 3 || len(legend) != 2 {
+		t.Fatalf("points/legend = %d/%d, want 3/2", len(pts), len(legend))
+	}
+	if pts[0].LinkID != pts[2].LinkID {
+		t.Error("same port must map to the same link id")
+	}
+	if legend[pts[1].LinkID] != (netsim.PortID{Switch: 2, Port: 0}) {
+		t.Error("legend mismatch")
+	}
+}
+
+// TestEndToEndReplayFromSimulation wires the whole pipeline: simulate a
+// contended bottleneck, measure at hosts with WaveSketch, capture µEvents,
+// ship both to the analyzer, and replay the biggest event.
+func TestEndToEndReplayFromSimulation(t *testing.T) {
+	topo, _ := netsim.Dumbbell(2)
+	cfg := netsim.DefaultConfig(topo)
+	n, _ := netsim.New(cfg)
+
+	sketches := make([]*wavesketch.Basic, topo.Hosts)
+	for h := range sketches {
+		sketches[h], _ = wavesketch.NewBasic(wavesketch.Default(128))
+	}
+	n.OnHostEgress = func(host int, pkt *netsim.Packet, now int64) {
+		sketches[host].Update(pkt.Flow, measure.WindowOf(now), int64(pkt.Size))
+	}
+	n.AddFlow(netsim.FlowSpec{Src: 0, Dst: 2, Bytes: 8_000_000, StartNs: 0})
+	n.AddFlow(netsim.FlowSpec{Src: 1, Dst: 2, Bytes: 8_000_000, StartNs: 200_000})
+	tr := n.Run(4_000_000)
+	if len(tr.CELog) == 0 {
+		t.Skip("no congestion to replay")
+	}
+
+	a := New()
+	for h, s := range sketches {
+		s.Seal()
+		a.AddReport(report.FromBasic(h, 0, s))
+	}
+	a.AddMirrors(uevent.Capture(tr.CELog, uevent.ACLRule{SampleBits: 2}, 0))
+
+	events := a.DetectEvents(100_000)
+	if len(events) == 0 {
+		t.Fatal("no events detected from mirrors")
+	}
+	// Replay the event with the most packets.
+	best := events[0]
+	for _, ev := range events {
+		if ev.Packets > best.Packets {
+			best = ev
+		}
+	}
+	view := a.Replay(best, 50*measure.WindowNanos)
+	if len(view.Curves) == 0 {
+		t.Fatal("replay has no curves")
+	}
+	var activity float64
+	for _, c := range view.Curves {
+		for _, v := range c {
+			activity += v
+		}
+	}
+	if activity == 0 {
+		t.Error("replayed curves are silent around a congestion event")
+	}
+}
+
+func TestDiagnoseEventClassifiesKinds(t *testing.T) {
+	mkEvent := func(nflows int) Event {
+		ev := Event{Port: netsim.PortID{Switch: 0, Port: 0}, StartNs: 100 * measure.WindowNanos, EndNs: 110 * measure.WindowNanos}
+		for i := 0; i < nflows; i++ {
+			ev.Flows = append(ev.Flows, key(i))
+		}
+		return ev
+	}
+	a := New()
+	if got := a.DiagnoseEvent(mkEvent(10), 0).Kind; got != KindIncast {
+		t.Errorf("10 flows → %v, want incast", got)
+	}
+	if got := a.DiagnoseEvent(mkEvent(3), 0).Kind; got != KindCollision {
+		t.Errorf("3 flows → %v, want collision", got)
+	}
+	if got := a.DiagnoseEvent(mkEvent(1), 0).Kind; got != KindSingle {
+		t.Errorf("1 flow → %v, want single-flow", got)
+	}
+}
+
+func TestDiagnoseEventFindsCulpritAndVictim(t *testing.T) {
+	// Build a report: the culprit ramps up at the event; the victim's
+	// rate collapses after it.
+	s, _ := wavesketch.NewBasic(wavesketch.Default(128))
+	culprit, victim := key(1), key(2)
+	for w := int64(0); w < 200; w++ {
+		cv := int64(100)
+		if w >= 100 && w < 115 {
+			cv = 9000 // burst into the event
+		}
+		vv := int64(8000)
+		if w >= 110 {
+			vv = 1000 // depressed afterwards
+		}
+		s.Update(culprit, w, cv)
+		s.Update(victim, w, vv)
+	}
+	s.Seal()
+	a := New()
+	a.AddReport(report.FromBasic(0, 0, s))
+	ev := Event{
+		Port:    netsim.PortID{Switch: 0, Port: 0},
+		StartNs: 100 * measure.WindowNanos,
+		EndNs:   112 * measure.WindowNanos,
+		Flows:   []flowkey.Key{culprit, victim},
+	}
+	d := a.DiagnoseEvent(ev, 50*measure.WindowNanos)
+	if len(d.Culprits) != 1 || d.Culprits[0] != culprit {
+		t.Errorf("culprits = %v", d.Culprits)
+	}
+	if len(d.Victims) != 1 || d.Victims[0] != victim {
+		t.Errorf("victims = %v", d.Victims)
+	}
+}
+
+func TestDiagnoseFlowVerdicts(t *testing.T) {
+	s, _ := wavesketch.NewBasic(wavesketch.Default(128))
+	gappy, steady := key(1), key(2)
+	for w := int64(0); w < 100; w++ {
+		if (w/10)%2 == 0 {
+			s.Update(gappy, w, 5000)
+		}
+		s.Update(steady, w, 5000)
+	}
+	s.Seal()
+	a := New()
+	a.AddReport(report.FromBasic(0, 0, s))
+
+	if got := a.DiagnoseFlow(gappy, 0, 100, nil); got != VerdictHostLimited {
+		t.Errorf("gappy verdict = %v", got)
+	}
+	if got := a.DiagnoseFlow(steady, 0, 100, nil); got != VerdictHealthy {
+		t.Errorf("steady verdict = %v", got)
+	}
+	events := []Event{{Flows: []flowkey.Key{steady}}}
+	if got := a.DiagnoseFlow(steady, 0, 100, events); got != VerdictNetworkLimited {
+		t.Errorf("event-involved verdict = %v", got)
+	}
+}
+
+func TestDetectImbalanceFlagsSkew(t *testing.T) {
+	a := New()
+	// Switch 0: 90 mirrors on port 0, 10 on port 1 → score 1.8 at 2 ports.
+	for i := 0; i < 90; i++ {
+		a.AddMirror(mirror(int64(i)*1000, 0, 0, key(1)))
+	}
+	for i := 0; i < 10; i++ {
+		a.AddMirror(mirror(int64(i)*1000, 0, 1, key(2)))
+	}
+	// Switch 1: balanced.
+	for i := 0; i < 50; i++ {
+		a.AddMirror(mirror(int64(i)*1000, 1, 0, key(3)))
+		a.AddMirror(mirror(int64(i)*1000, 1, 1, key(4)))
+	}
+	findings := a.DetectImbalance(32, 1.5)
+	if len(findings) != 1 || findings[0].Switch != 0 {
+		t.Fatalf("findings = %+v, want only switch 0", findings)
+	}
+	if findings[0].HottestPort() != 0 {
+		t.Errorf("hottest port = %d, want 0", findings[0].HottestPort())
+	}
+	if findings[0].Score < 1.5 || findings[0].Score > 2 {
+		t.Errorf("score = %v", findings[0].Score)
+	}
+	// Higher bar filters it out; tiny sample counts are skipped.
+	if got := a.DetectImbalance(32, 3); len(got) != 0 {
+		t.Errorf("minScore=3 findings = %+v", got)
+	}
+	if got := a.DetectImbalance(1000, 1.5); len(got) != 0 {
+		t.Errorf("minRecords=1000 findings = %+v", got)
+	}
+}
+
+// TestImbalanceEndToEnd polarizes ECMP on a leaf-spine fabric by choosing
+// source ports that all hash onto the same spine, then checks the analyzer
+// flags the leaf.
+func TestImbalanceEndToEnd(t *testing.T) {
+	topo, _ := netsim.LeafSpine(2, 2, 4)
+	cfg := netsim.DefaultConfig(topo)
+	n, _ := netsim.New(cfg)
+	// Pick source ports whose flow key hashes to spine slot 0.
+	added := 0
+	for sp := uint16(20000); sp < 40000 && added < 6; sp++ {
+		k := flowkey.Key{
+			SrcIP: netsim.HostIP(added % 4), DstIP: netsim.HostIP(4 + added%4),
+			SrcPort: sp, DstPort: flowkey.RoCEPort, Proto: flowkey.ProtoUDP,
+		}
+		if ECMPSelect(k, 2) != 0 {
+			continue
+		}
+		if _, err := n.AddFlow(netsim.FlowSpec{
+			Src: added % 4, Dst: 4 + added%4, Bytes: 10_000_000, SrcPort: sp,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		added++
+	}
+	if added < 6 {
+		t.Fatal("could not find polarizing source ports")
+	}
+	tr := n.Run(4_000_000)
+	if len(tr.CELog) == 0 {
+		t.Skip("polarized flows produced no congestion")
+	}
+	a := New()
+	a.AddMirrors(uevent.Capture(tr.CELog, uevent.ACLRule{}, 0))
+	// Port inventory from the topology: silent sibling uplinks must count.
+	ports := make(map[int16]int)
+	for sw := 0; sw < topo.Switches; sw++ {
+		ports[int16(sw)] = len(topo.Ports[topo.Hosts+sw])
+	}
+	findings := a.DetectImbalanceWithPorts(32, 2, ports)
+	if len(findings) == 0 {
+		t.Fatal("polarized ECMP congestion not flagged as imbalance")
+	}
+}

@@ -1,0 +1,144 @@
+package analyzer
+
+import (
+	"math"
+
+	"umon/internal/flowkey"
+	"umon/internal/measure"
+)
+
+// Event diagnosis (§2.2 B1/B2): with the event's flow set and the replayed
+// rate curves, the analyzer can say *why* a link congested and whether a
+// slow flow is host- or network-limited.
+
+// EventKind classifies a congestion event by its traffic pattern.
+type EventKind string
+
+const (
+	// KindIncast: many flows converged on the port at once.
+	KindIncast EventKind = "incast"
+	// KindCollision: a small number of heavy flows contended.
+	KindCollision EventKind = "collision"
+	// KindSingle: one flow alone overran the port (e.g. a burst into a
+	// slower link).
+	KindSingle EventKind = "single-flow"
+)
+
+// Diagnosis summarizes an event's cause/impact analysis.
+type Diagnosis struct {
+	Kind EventKind
+	// Culprits are the flows that accelerated into the event (rate rising
+	// at event start); Victims decelerated through it.
+	Culprits []flowkey.Key
+	Victims  []flowkey.Key
+}
+
+// DiagnoseEvent replays the event and classifies it. marginNs bounds the
+// before/after context (default 250 µs).
+func (a *Analyzer) DiagnoseEvent(ev Event, marginNs int64) Diagnosis {
+	if marginNs <= 0 {
+		marginNs = 250_000
+	}
+	d := Diagnosis{}
+	switch {
+	case len(ev.Flows) >= 8:
+		d.Kind = KindIncast
+	case len(ev.Flows) >= 2:
+		d.Kind = KindCollision
+	default:
+		d.Kind = KindSingle
+	}
+	view := a.Replay(ev, marginNs)
+	evStart := clampIdx(int(measure.WindowOf(ev.StartNs)-view.WindowStart), view.Windows)
+	evEnd := clampIdx(int(measure.WindowOf(ev.EndNs)-view.WindowStart)+1, view.Windows)
+	for _, f := range ev.Flows {
+		curve := view.Curves[f]
+		if len(curve) == 0 {
+			continue
+		}
+		before := meanOf(curve[:evStart])
+		during := meanOf(curve[evStart:evEnd])
+		after := meanOf(curve[evEnd:])
+		switch {
+		case during > before*1.5+1 && during > 0:
+			// The flow ramped up into the event: a contributor.
+			d.Culprits = append(d.Culprits, f)
+		case after < before*0.75 && before > 0:
+			// The flow came out slower: a victim.
+			d.Victims = append(d.Victims, f)
+		}
+	}
+	return d
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i > n {
+		return n
+	}
+	return i
+}
+
+func meanOf(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// FlowVerdict classifies a slow flow (§6.2 / Figure 9): host-limited flows
+// show idle gaps without congestion feedback; network-limited flows show
+// rate depressions coinciding with events on their path.
+type FlowVerdict string
+
+const (
+	// VerdictHostLimited: the application starves the NIC.
+	VerdictHostLimited FlowVerdict = "host-limited"
+	// VerdictNetworkLimited: congestion control is holding the flow back.
+	VerdictNetworkLimited FlowVerdict = "network-limited"
+	// VerdictHealthy: the flow uses the link continuously.
+	VerdictHealthy FlowVerdict = "healthy"
+)
+
+// DiagnoseFlow inspects a flow's rate curve over [from, to) windows
+// together with the detected events involving it.
+func (a *Analyzer) DiagnoseFlow(f flowkey.Key, from, to int64, events []Event) FlowVerdict {
+	curve := a.QueryFlow(f, from, to)
+	if len(curve) == 0 {
+		return VerdictHealthy
+	}
+	var idle int
+	var peak float64
+	for _, v := range curve {
+		if v < 1 {
+			idle++
+		}
+		peak = math.Max(peak, v)
+	}
+	idleFrac := float64(idle) / float64(len(curve))
+
+	involved := false
+	for i := range events {
+		for _, ef := range events[i].Flows {
+			if ef == f {
+				involved = true
+			}
+		}
+	}
+	switch {
+	case involved:
+		return VerdictNetworkLimited
+	case idleFrac > 0.25 && peak > 0:
+		// Gaps without congestion involvement: the sender has no data
+		// (§6.2's intermittent TCP flow).
+		return VerdictHostLimited
+	default:
+		return VerdictHealthy
+	}
+}

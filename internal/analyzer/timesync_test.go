@@ -1,0 +1,71 @@
+package analyzer
+
+import (
+	"testing"
+
+	"umon/internal/measure"
+	"umon/internal/netsim"
+	"umon/internal/timesync"
+	"umon/internal/uevent"
+)
+
+// TestReplayAlignmentUnderPTPError injects PTP-class clock error into the
+// mirror timestamps and verifies §6.1's requirement: after the analyzer
+// applies its offset estimates, event windows stay within two 8.192 µs
+// windows of the true timeline — close enough that replay margins cover
+// the residual.
+func TestReplayAlignmentUnderPTPError(t *testing.T) {
+	ptp := timesync.DefaultPTP()
+	drift := 15.0 // ppm
+	worst := ptp.WorstCaseErrorNs(drift)
+	if skew := timesync.MaxWindowSkew(worst, measure.WindowNanos); skew > 2 {
+		t.Fatalf("PTP profile already violates the two-window bound: %d", skew)
+	}
+
+	trueStart := int64(5_000_000)
+	clock := timesync.NewClock(0, drift, 30, 11)
+
+	// The switch stamps mirrors with its local clock.
+	a := New()
+	// The analyzer's offset estimate comes from the last sync exchange;
+	// model it as the clock's steered residual (≤ ResidualNs).
+	clock.Steer(trueStart-ptp.SyncIntervalNs/2, ptp.ResidualNs)
+	a.SetSwitchOffset(0, int64(clock.OffsetNs))
+
+	f := key(1)
+	for i := int64(0); i < 10; i++ {
+		trueNs := trueStart + i*10_000
+		local := clock.Read(trueNs)
+		a.AddMirror(uevent.MirrorRecord{
+			Port: netsim.PortID{Switch: 0, Port: 0}, TimestampNs: local,
+			OrigBytes: 1058, WireBytes: 1058, Flow: f,
+		})
+	}
+	events := a.DetectEvents(50_000)
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	gotWin := measure.WindowOf(events[0].StartNs)
+	wantWin := measure.WindowOf(trueStart)
+	if d := gotWin - wantWin; d < -2 || d > 2 {
+		t.Errorf("aligned event window %d vs true %d: skew %d windows exceeds §6.1 bound", gotWin, wantWin, d)
+	}
+}
+
+// TestNTPErrorBreaksAlignment is the negative control: millisecond NTP
+// error lands events tens of windows away, which is why the paper requires
+// PTP-class synchronization.
+func TestNTPErrorBreaksAlignment(t *testing.T) {
+	trueStart := int64(5_000_000)
+	a := New()
+	// 2 ms of uncorrected offset.
+	a.AddMirror(uevent.MirrorRecord{
+		Port: netsim.PortID{Switch: 0, Port: 0}, TimestampNs: trueStart + 2_000_000,
+		OrigBytes: 1058, WireBytes: 1058, Flow: key(1),
+	})
+	ev := a.DetectEvents(0)[0]
+	d := measure.WindowOf(ev.StartNs) - measure.WindowOf(trueStart)
+	if d <= 2 {
+		t.Errorf("NTP-class error should exceed the window bound, got %d", d)
+	}
+}

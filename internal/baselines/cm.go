@@ -1,0 +1,33 @@
+package baselines
+
+import (
+	"fmt"
+
+	"umon/internal/flowkey"
+)
+
+// cmFrame is the shared Count-Min hashing frame used by all three
+// baselines: D rows × W buckets with independently seeded hash functions,
+// mirroring WaveSketch's structure so accuracy comparisons are structural,
+// not hashing, differences.
+type cmFrame struct {
+	rows  int
+	width int
+	seeds []uint64
+}
+
+func newCMFrame(rows, width int, seed uint64) (*cmFrame, error) {
+	if rows < 1 || width < 1 {
+		return nil, fmt.Errorf("baselines: need rows ≥ 1 and width ≥ 1, got %d×%d", rows, width)
+	}
+	f := &cmFrame{rows: rows, width: width, seeds: make([]uint64, rows)}
+	for r := range f.seeds {
+		f.seeds[r] = flowkey.RowSeed(seed, r)
+	}
+	return f, nil
+}
+
+// index returns the bucket index of key k in row r.
+func (f *cmFrame) index(k flowkey.Key, r int) int {
+	return int(k.Hash(f.seeds[r]) % uint64(f.width))
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+
+	"umon/internal/flowkey"
+	"umon/internal/measure"
+	"umon/internal/netsim"
+	"umon/internal/uevent"
+)
+
+func testKey(i int) flowkey.Key {
+	return flowkey.Key{
+		SrcIP: netsim.HostIP(0), DstIP: netsim.HostIP(1),
+		SrcPort: uint16(10000 + i), DstPort: flowkey.RoCEPort, Proto: flowkey.ProtoUDP,
+	}
+}
+
+func TestHostMonitorPeriods(t *testing.T) {
+	var got [][]byte
+	cfg := DefaultHostMonitor()
+	cfg.PeriodNs = 1_000_000 // 1 ms
+	m, err := NewHostMonitor(0, cfg, func(_ int, b []byte) { got = append(got, b) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := testKey(1)
+	// Packets across 3 periods.
+	for ns := int64(0); ns < 2_500_000; ns += 10_000 {
+		if err := m.OnPacket(f, ns, 1058); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("reports emitted mid-stream = %d, want 2", len(got))
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("reports after flush = %d, want 3", len(got))
+	}
+	bytes, reports := m.Stats()
+	if reports != 3 || bytes <= 0 {
+		t.Errorf("stats = %d bytes / %d reports", bytes, reports)
+	}
+	if m.BandwidthBps(2_500_000) <= 0 {
+		t.Error("bandwidth must be positive")
+	}
+	if m.BandwidthBps(0) != 0 {
+		t.Error("zero duration bandwidth must be 0")
+	}
+}
+
+func TestHostMonitorValidation(t *testing.T) {
+	if _, err := NewHostMonitor(0, HostMonitorConfig{}, nil); err == nil {
+		t.Error("PeriodNs=0 must be rejected")
+	}
+	m, _ := NewHostMonitor(0, DefaultHostMonitor(), nil)
+	if err := m.Flush(); err != nil {
+		t.Errorf("flush before any packet: %v", err)
+	}
+}
+
+func TestHostMonitorIdleGapSkipsPeriods(t *testing.T) {
+	var reports int
+	cfg := DefaultHostMonitor()
+	cfg.PeriodNs = 1_000_000
+	m, _ := NewHostMonitor(0, cfg, func(int, []byte) { reports++ })
+	m.OnPacket(testKey(1), 100, 1000)
+	// Next packet 5 periods later: all intervening periods flush.
+	m.OnPacket(testKey(1), 5_100_000, 1000)
+	if reports != 5 {
+		t.Errorf("reports across idle gap = %d, want 5", reports)
+	}
+}
+
+func TestSwitchMonitorSamplesAndEncodes(t *testing.T) {
+	var wires [][]byte
+	sm := NewSwitchMonitor(4, SwitchMonitorConfig{Rule: uevent.ACLRule{SampleBits: 2}}, func(b []byte) {
+		wires = append(wires, b)
+	})
+	f := testKey(1)
+	for psn := uint32(0); psn < 16; psn++ {
+		sm.OnCEPacket(1, int64(psn)*1000, f, psn, 1058)
+	}
+	if len(wires) != 4 { // PSNs 0,4,8,12
+		t.Fatalf("mirrored %d, want 4", len(wires))
+	}
+	pkts, bytes := sm.Stats()
+	if pkts != 4 || bytes != 4*1058 {
+		t.Errorf("stats = %d/%d", pkts, bytes)
+	}
+}
+
+func TestSwitchMonitorTruncates(t *testing.T) {
+	sm := NewSwitchMonitor(0, SwitchMonitorConfig{TruncBytes: 64}, nil)
+	sm.OnCEPacket(0, 0, testKey(1), 0, 1058)
+	_, bytes := sm.Stats()
+	if bytes != 64 {
+		t.Errorf("truncated bytes = %d, want 64", bytes)
+	}
+}
+
+// TestDeployEndToEnd runs a full µMon deployment over a congested
+// dumbbell: reports and mirrors must reach the analyzer through the wire
+// formats, and the replayed event must carry rate curves.
+func TestDeployEndToEnd(t *testing.T) {
+	topo, _ := netsim.Dumbbell(2)
+	n, _ := netsim.New(netsim.DefaultConfig(topo))
+	cfg := DefaultSystem()
+	cfg.Host.PeriodNs = 2_000_000
+	cfg.Switch.Rule = uevent.ACLRule{SampleBits: 1}
+	sys, err := Deploy(n, topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.AddFlow(netsim.FlowSpec{Src: 0, Dst: 2, Bytes: 10_000_000, StartNs: 0})
+	n.AddFlow(netsim.FlowSpec{Src: 1, Dst: 2, Bytes: 10_000_000, StartNs: 100_000})
+	n.Run(5_000_000)
+	if err := sys.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	if sys.Analyzer.Mirrors() == 0 {
+		t.Fatal("no mirrors reached the analyzer")
+	}
+	if bw := sys.HostBandwidthBps(5_000_000); bw <= 0 {
+		t.Error("host bandwidth must be positive")
+	}
+	if p, b := sys.MirrorStats(); p == 0 || b == 0 {
+		t.Error("mirror stats must be positive")
+	}
+
+	events := sys.Analyzer.DetectEvents(50_000)
+	if len(events) == 0 {
+		t.Fatal("no events detected")
+	}
+	best := events[0]
+	for _, ev := range events {
+		if ev.Packets > best.Packets {
+			best = ev
+		}
+	}
+	view := sys.Analyzer.Replay(best, 30*measure.WindowNanos)
+	var activity float64
+	for _, c := range view.Curves {
+		for _, v := range c {
+			activity += v
+		}
+	}
+	if activity == 0 {
+		t.Error("replay produced silent curves")
+	}
+}
+
+// TestDeployReportsAreQueryable verifies that the flows measured through
+// the period-rolling host monitors remain queryable at the analyzer with
+// sensible totals.
+func TestDeployReportsAreQueryable(t *testing.T) {
+	topo, _ := netsim.Dumbbell(1)
+	n, _ := netsim.New(netsim.DefaultConfig(topo))
+	cfg := DefaultSystem()
+	cfg.Host.PeriodNs = 1_000_000
+	sys, _ := Deploy(n, topo, cfg)
+	id, _ := n.AddFlow(netsim.FlowSpec{Src: 0, Dst: 1, Bytes: 3_000_000, StartNs: 0, FixedRateBps: 10e9})
+	tr := n.Run(5_000_000)
+	if err := sys.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	key := tr.Flows[id].Key
+	est := sys.Analyzer.QueryFlow(key, 0, 5_000_000/measure.WindowNanos)
+	var total float64
+	for _, v := range est {
+		total += v
+	}
+	sent := float64(tr.Flows[id].TxBytes)
+	if total < sent*0.9 || total > sent*1.1 {
+		t.Errorf("queried total %v vs sent %v", total, sent)
+	}
+}
+
+func TestDutyCycledMonitor(t *testing.T) {
+	var reports int
+	cfg := DefaultHostMonitor()
+	cfg.PeriodNs = 1_000_000
+	inner, _ := NewHostMonitor(0, cfg, func(int, []byte) { reports++ })
+	d := NewDutyCycledMonitor(inner, 1, 4) // measure 1 ms out of every 4
+	f := testKey(1)
+	for ns := int64(0); ns < 8_000_000; ns += 10_000 {
+		if err := d.OnPacket(f, ns, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if c := d.Coverage(); c < 0.2 || c > 0.3 {
+		t.Errorf("coverage = %v, want ≈0.25", c)
+	}
+	// Reports come only from active epochs (2 active out of 8 periods,
+	// plus catch-up flushes of skipped periods which carry empty sketches).
+	bytes, _ := d.Inner().Stats()
+	if bytes <= 0 || reports == 0 {
+		t.Error("duty-cycled monitor produced no reports")
+	}
+	if !d.Active(0) || d.Active(1_500_000) {
+		t.Error("Active window math wrong")
+	}
+}
+
+func TestDutyCycleClamping(t *testing.T) {
+	inner, _ := NewHostMonitor(0, DefaultHostMonitor(), nil)
+	d := NewDutyCycledMonitor(inner, 9, 4)
+	if d.activePeriods != 4 {
+		t.Errorf("active clamped to %d, want 4", d.activePeriods)
+	}
+	d2 := NewDutyCycledMonitor(inner, 0, 0)
+	if d2.activePeriods != 1 || d2.cyclePeriods != 1 {
+		t.Errorf("defaults = %d/%d", d2.activePeriods, d2.cyclePeriods)
+	}
+	if d2.Coverage() != 1 {
+		t.Error("no-packet coverage should be 1")
+	}
+}

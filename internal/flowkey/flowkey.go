@@ -1,0 +1,72 @@
+// Package flowkey defines the canonical 5-tuple flow identifier shared by
+// the simulator, the sketches and the analyzer, together with seeded hashing
+// suitable for the pairwise-independent hash rows of a Count-Min sketch.
+package flowkey
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Key is a 5-tuple flow identifier. IPv4 addresses are stored as uint32 in
+// host order (data-center fabrics in the paper are IPv4).
+type Key struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// Proto numbers used across the repository.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17 // RoCEv2 rides on UDP/4791
+)
+
+// RoCEPort is the well-known UDP destination port of RoCEv2.
+const RoCEPort = 4791
+
+// String renders the key in src→dst form.
+func (k Key) String() string {
+	return fmt.Sprintf("%s:%d>%s:%d/%d", u32ip(k.SrcIP), k.SrcPort, u32ip(k.DstIP), k.DstPort, k.Proto)
+}
+
+func u32ip(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// Reverse returns the key of the opposite direction (used for ACKs/CNPs).
+func (k Key) Reverse() Key {
+	return Key{SrcIP: k.DstIP, DstIP: k.SrcIP, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+}
+
+// pack encodes the key into two words for hashing.
+func (k Key) pack() (uint64, uint64) {
+	a := uint64(k.SrcIP)<<32 | uint64(k.DstIP)
+	b := uint64(k.SrcPort)<<24 | uint64(k.DstPort)<<8 | uint64(k.Proto)
+	return a, b
+}
+
+// Hash mixes the key with the given seed using two rounds of a
+// splitmix64-style finalizer. Distinct seeds give effectively independent
+// hash functions, which is all the Count-Min analysis needs in practice.
+func (k Key) Hash(seed uint64) uint64 {
+	a, b := k.pack()
+	h := mix64(a ^ seed)
+	h = mix64(h ^ b ^ (seed * 0x9e3779b97f4a7c15))
+	return h
+}
+
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RowSeed derives the seed of sketch row r from a base seed; rows get
+// decorrelated hash functions without the caller managing seed arrays.
+func RowSeed(base uint64, row int) uint64 {
+	return mix64(base + uint64(row)*0xa0761d6478bd642f + 1)
+}

@@ -1,0 +1,32 @@
+package measure
+
+// MinCombine takes the elementwise minimum over several equally-long
+// estimate curves, clamping negatives to zero — the Count-Min combination
+// rule extended to window series. Nil curves are skipped; if all are nil the
+// result is all zeros of length n.
+func MinCombine(n int, curves ...[]float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for _, c := range curves {
+		if c == nil {
+			continue
+		}
+		for i := 0; i < n && i < len(c); i++ {
+			v := c[i]
+			if v < 0 {
+				v = 0
+			}
+			if out[i] < 0 || v < out[i] {
+				out[i] = v
+			}
+		}
+	}
+	for i := range out {
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}

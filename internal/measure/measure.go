@@ -1,0 +1,135 @@
+// Package measure defines the common interface implemented by every
+// flow-rate measurement scheme in the repository (WaveSketch and the
+// baselines of §7.1) plus the ground-truth series builder used to grade
+// them.
+//
+// All schemes see the same input: (flow, absolute window id, byte count)
+// updates, one per packet, where window id = timestamp >> WindowShift.
+package measure
+
+import (
+	"umon/internal/flowkey"
+)
+
+// DefaultWindowShift turns a nanosecond timestamp into the paper's 8.192 µs
+// observation window by a 13-bit right shift (§7.1: "it can easily get the
+// window ID from the nanosecond-level hardware timestamp by right-shifting
+// 13 bits").
+const DefaultWindowShift = 13
+
+// WindowNanos is the span of one default window in nanoseconds.
+const WindowNanos = 1 << DefaultWindowShift
+
+// WindowOf maps a nanosecond timestamp to its absolute window id.
+func WindowOf(ns int64) int64 { return ns >> DefaultWindowShift }
+
+// SeriesEstimator measures per-flow, per-window byte counts.
+type SeriesEstimator interface {
+	// Name identifies the scheme in reports ("WaveSketch-Ideal", …).
+	Name() string
+	// Update records v bytes for flow f in absolute window w. Updates
+	// arrive in non-decreasing window order per device.
+	Update(f flowkey.Key, w int64, v int64)
+	// Seal ends the measurement period. It must be called once before
+	// QueryRange; implementations flush in-flight state.
+	Seal()
+	// QueryRange estimates the byte counts of flow f for every window in
+	// [from, to), one entry per window.
+	QueryRange(f flowkey.Key, from, to int64) []float64
+	// MemoryBytes reports the device memory footprint of the scheme.
+	MemoryBytes() int64
+	// ReportBytes reports the size of the upload to the analyzer for one
+	// measurement period.
+	ReportBytes() int64
+}
+
+// Series is a dense per-window count sequence starting at window Start.
+type Series struct {
+	Start  int64
+	Counts []int64
+}
+
+// End returns one past the last window of the series.
+func (s *Series) End() int64 { return s.Start + int64(len(s.Counts)) }
+
+// Range extracts [from, to) as float64, zero-filled outside the series.
+func (s *Series) Range(from, to int64) []float64 {
+	if to < from {
+		to = from
+	}
+	out := make([]float64, to-from)
+	for w := from; w < to; w++ {
+		if w >= s.Start && w < s.End() {
+			out[w-from] = float64(s.Counts[w-s.Start])
+		}
+	}
+	return out
+}
+
+// Total sums all counts.
+func (s *Series) Total() int64 {
+	var t int64
+	for _, c := range s.Counts {
+		t += c
+	}
+	return t
+}
+
+// GroundTruth accumulates exact per-flow window series.
+type GroundTruth struct {
+	flows map[flowkey.Key]*Series
+}
+
+// NewGroundTruth returns an empty ground-truth accumulator.
+func NewGroundTruth() *GroundTruth {
+	return &GroundTruth{flows: make(map[flowkey.Key]*Series)}
+}
+
+// Update records v bytes for flow f in absolute window w. Unlike the
+// estimators, ground truth accepts any window order.
+func (g *GroundTruth) Update(f flowkey.Key, w int64, v int64) {
+	s, ok := g.flows[f]
+	if !ok {
+		s = &Series{Start: w, Counts: []int64{0}}
+		g.flows[f] = s
+	}
+	switch {
+	case w < s.Start:
+		pad := make([]int64, s.Start-w)
+		s.Counts = append(pad, s.Counts...)
+		s.Start = w
+	case w >= s.End():
+		s.Counts = append(s.Counts, make([]int64, w-s.End()+1)...)
+	}
+	s.Counts[w-s.Start] += v
+}
+
+// Flow returns the exact series of f, or nil if unseen.
+func (g *GroundTruth) Flow(f flowkey.Key) *Series { return g.flows[f] }
+
+// Flows returns all flow keys in unspecified order.
+func (g *GroundTruth) Flows() []flowkey.Key {
+	out := make([]flowkey.Key, 0, len(g.flows))
+	for k := range g.flows {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Len reports the number of distinct flows.
+func (g *GroundTruth) Len() int { return len(g.flows) }
+
+// CounterWindows reports Σ_f n(f, δ): the total number of active-time
+// counters needed at a window granularity of `windows` base windows per
+// counter (the N(δ) quantity behind Figure 3).
+func (g *GroundTruth) CounterWindows(windows int64) int64 {
+	if windows <= 0 {
+		windows = 1
+	}
+	var n int64
+	for _, s := range g.flows {
+		span := int64(len(s.Counts))
+		n += (span + windows - 1) / windows
+	}
+	return n
+}

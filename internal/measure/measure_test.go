@@ -1,0 +1,160 @@
+package measure
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"umon/internal/flowkey"
+)
+
+func key(i int) flowkey.Key {
+	return flowkey.Key{SrcIP: uint32(i + 1), DstIP: 99, SrcPort: uint16(i), DstPort: 4791, Proto: 17}
+}
+
+func TestWindowOf(t *testing.T) {
+	cases := map[int64]int64{0: 0, 8191: 0, 8192: 1, 81920: 10}
+	for ns, want := range cases {
+		if got := WindowOf(ns); got != want {
+			t.Errorf("WindowOf(%d) = %d, want %d", ns, got, want)
+		}
+	}
+	if WindowNanos != 8192 {
+		t.Errorf("WindowNanos = %d", WindowNanos)
+	}
+}
+
+func TestSeriesRange(t *testing.T) {
+	s := &Series{Start: 10, Counts: []int64{1, 2, 3}}
+	if s.End() != 13 {
+		t.Errorf("End = %d", s.End())
+	}
+	got := s.Range(8, 15)
+	want := []float64{0, 0, 1, 2, 3, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+	if len(s.Range(5, 3)) != 0 {
+		t.Error("inverted range should be empty")
+	}
+	if s.Total() != 6 {
+		t.Errorf("Total = %d", s.Total())
+	}
+}
+
+func TestGroundTruthForwardAndBackward(t *testing.T) {
+	g := NewGroundTruth()
+	k := key(1)
+	g.Update(k, 10, 100)
+	g.Update(k, 12, 300)
+	g.Update(k, 8, 50) // before the start: series must extend left
+	g.Update(k, 10, 1) // accumulate
+	s := g.Flow(k)
+	if s.Start != 8 || s.End() != 13 {
+		t.Fatalf("span = [%d, %d)", s.Start, s.End())
+	}
+	want := []int64{50, 0, 101, 0, 300}
+	for i, v := range want {
+		if s.Counts[i] != v {
+			t.Fatalf("counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if g.Len() != 1 || len(g.Flows()) != 1 {
+		t.Error("flow accounting wrong")
+	}
+	if g.Flow(key(9)) != nil {
+		t.Error("unknown flow should be nil")
+	}
+}
+
+// Property: ground truth preserves total mass regardless of update order.
+func TestGroundTruthMassConservation(t *testing.T) {
+	f := func(windows []uint8, vals []uint8) bool {
+		g := NewGroundTruth()
+		k := key(1)
+		var want int64
+		n := len(windows)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			v := int64(vals[i]) + 1
+			g.Update(k, int64(windows[i]), v)
+			want += v
+		}
+		if n == 0 {
+			return g.Flow(k) == nil
+		}
+		return g.Flow(k).Total() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterWindows(t *testing.T) {
+	g := NewGroundTruth()
+	g.Update(key(1), 0, 1)
+	g.Update(key(1), 99, 1) // span 100 windows
+	g.Update(key(2), 5, 1)  // span 1 window
+	if got := g.CounterWindows(1); got != 101 {
+		t.Errorf("fine counters = %d, want 101", got)
+	}
+	if got := g.CounterWindows(10); got != 11 {
+		t.Errorf("coarse counters = %d, want 11", got)
+	}
+	if got := g.CounterWindows(0); got != 101 {
+		t.Errorf("zero granularity should clamp to 1, got %d", got)
+	}
+}
+
+func TestMinCombine(t *testing.T) {
+	got := MinCombine(3, []float64{5, 2, 9}, []float64{4, 8, 1})
+	want := []float64{4, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MinCombine = %v, want %v", got, want)
+		}
+	}
+	// Negatives clamp to zero before the min.
+	got = MinCombine(2, []float64{-3, 5}, []float64{1, 4})
+	if got[0] != 0 || got[1] != 4 {
+		t.Errorf("clamped = %v", got)
+	}
+	// Nil curves are skipped; all-nil gives zeros.
+	got = MinCombine(2, nil, []float64{7, 7})
+	if got[0] != 7 {
+		t.Errorf("nil-skip = %v", got)
+	}
+	got = MinCombine(2, nil, nil)
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("all-nil = %v", got)
+	}
+	// Short curves only constrain their prefix.
+	got = MinCombine(3, []float64{1}, []float64{2, 2, 2})
+	if got[0] != 1 || got[1] != 2 || got[2] != 2 {
+		t.Errorf("short-curve = %v", got)
+	}
+}
+
+func TestGroundTruthManyFlows(t *testing.T) {
+	g := NewGroundTruth()
+	rng := rand.New(rand.NewSource(4))
+	totals := map[flowkey.Key]int64{}
+	for i := 0; i < 5000; i++ {
+		k := key(rng.Intn(50))
+		v := int64(rng.Intn(1500) + 1)
+		g.Update(k, int64(rng.Intn(1000)), v)
+		totals[k] += v
+	}
+	if g.Len() != len(totals) {
+		t.Fatalf("flows = %d, want %d", g.Len(), len(totals))
+	}
+	for k, want := range totals {
+		if got := g.Flow(k).Total(); got != want {
+			t.Fatalf("flow %v total = %d, want %d", k, got, want)
+		}
+	}
+}

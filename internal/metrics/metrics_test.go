@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEuclidean(t *testing.T) {
+	if got := Euclidean([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("identical curves distance = %v, want 0", got)
+	}
+	if got := Euclidean([]float64{0, 0}, []float64{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("3-4-5 distance = %v, want 5", got)
+	}
+	// Mismatched lengths grade the common prefix.
+	if got := Euclidean([]float64{1, 1, 9}, []float64{1, 1}); got != 0 {
+		t.Errorf("prefix distance = %v, want 0", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine([]float64{1, 0}, []float64{2, 0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("parallel cosine = %v, want 1", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{0, 1}); math.Abs(got) > 1e-12 {
+		t.Errorf("orthogonal cosine = %v, want 0", got)
+	}
+	if got := Cosine(nil, nil); got != 1 {
+		t.Errorf("empty cosine = %v, want 1", got)
+	}
+	if got := Cosine([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Errorf("zero-vs-nonzero cosine = %v, want 0", got)
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	if got := Energy([]float64{3, 4}, []float64{3, 4}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical energy = %v, want 1", got)
+	}
+	// Symmetric: C(f,g) == C(g,f).
+	a, b := []float64{1, 2, 3}, []float64{2, 2, 2}
+	if math.Abs(Energy(a, b)-Energy(b, a)) > 1e-12 {
+		t.Error("energy similarity must be symmetric")
+	}
+	// Double amplitude → √(E)/√(4E) = 1/2.
+	if got := Energy([]float64{1, 1}, []float64{2, 2}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("doubled-amplitude energy = %v, want 0.5", got)
+	}
+	if got := Energy([]float64{0}, []float64{0}); got != 1 {
+		t.Errorf("all-zero energy = %v, want 1", got)
+	}
+	if got := Energy([]float64{0}, []float64{5}); got != 0 {
+		t.Errorf("zero-vs-nonzero energy = %v, want 0", got)
+	}
+}
+
+func TestARE(t *testing.T) {
+	if got := ARE([]float64{10, 20}, []float64{11, 18}); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("ARE = %v, want 0.1", got)
+	}
+	// Zero-truth windows are skipped.
+	if got := ARE([]float64{0, 10}, []float64{0, 10}); got != 0 {
+		t.Errorf("exact ARE = %v, want 0", got)
+	}
+	if got := ARE([]float64{0, 0}, []float64{0, 0}); got != 0 {
+		t.Errorf("all-zero ARE = %v, want 0", got)
+	}
+	if got := ARE([]float64{0}, []float64{5}); !math.IsInf(got, 1) {
+		t.Errorf("phantom-traffic ARE = %v, want +Inf", got)
+	}
+}
+
+func TestMetricProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		a := make([]float64, len(raw))
+		for i, v := range raw {
+			a[i] = float64(v)
+		}
+		// Self-comparison is perfect on every metric.
+		if Euclidean(a, a) != 0 || math.Abs(Cosine(a, a)-1) > 1e-9 && !allZero(a) {
+			return false
+		}
+		if math.Abs(Energy(a, a)-1) > 1e-12 {
+			return false
+		}
+		if got := ARE(a, a); got != 0 {
+			return false
+		}
+		// Cosine and Energy live in [0, 1] for non-negative curves.
+		b := make([]float64, len(a))
+		for i := range b {
+			b[i] = a[(i+1)%len(a)]
+		}
+		c, e := Cosine(a, b), Energy(a, b)
+		return c >= -1e-12 && c <= 1+1e-12 && e >= 0 && e <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func allZero(a []float64) bool {
+	for _, v := range a {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := MeanFinite([]float64{1, math.Inf(1), 3, math.NaN()}); got != 2 {
+		t.Errorf("MeanFinite = %v, want 2", got)
+	}
+	if MeanFinite([]float64{math.Inf(1)}) != 0 {
+		t.Error("MeanFinite of all-infinite should be 0")
+	}
+}
+
+func TestRecall(t *testing.T) {
+	if Recall(0, 0) != 1 {
+		t.Error("recall with no events should be 1")
+	}
+	if got := Recall(3, 4); got != 0.75 {
+		t.Errorf("recall = %v, want 0.75", got)
+	}
+}
+
+func TestCurveSet(t *testing.T) {
+	var cs CurveSet
+	cs.Add([]float64{10, 10}, []float64{10, 10})
+	cs.Add([]float64{10, 10}, []float64{20, 20})
+	if cs.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", cs.Len())
+	}
+	s := cs.Summarize()
+	if s.Flows != 2 {
+		t.Errorf("Flows = %d, want 2", s.Flows)
+	}
+	if math.Abs(s.ARE-0.5) > 1e-12 {
+		t.Errorf("mean ARE = %v, want 0.5", s.ARE)
+	}
+	if math.Abs(s.Energy-0.75) > 1e-12 {
+		t.Errorf("mean energy = %v, want 0.75 ((1+0.5)/2)", s.Energy)
+	}
+	if math.Abs(s.Cosine-1) > 1e-12 {
+		t.Errorf("mean cosine = %v, want 1", s.Cosine)
+	}
+}

@@ -1,0 +1,100 @@
+package netsim
+
+// DCQCNConfig holds the DCQCN congestion-control parameters (§7.2: "the
+// parameters of the DCQCN algorithm remain consistent with the original
+// paper" [Zhu et al., SIGCOMM'15]).
+type DCQCNConfig struct {
+	LinkBps float64
+	// G is the alpha EWMA gain (1/256 in the DCQCN paper).
+	G float64
+	// AlphaTimerNs decays alpha when no CNP arrives within it (55 µs).
+	AlphaTimerNs int64
+	// RateTimerNs drives rate-increase events (55 µs).
+	RateTimerNs int64
+	// F is the number of fast-recovery stages before additive increase.
+	F int
+	// RaiBps is the additive increase step.
+	RaiBps float64
+	// RhaiBps is the hyper increase step.
+	RhaiBps float64
+	// MinRateBps floors the sending rate.
+	MinRateBps float64
+	// CNPIntervalNs paces receiver CNP generation per flow (50 µs).
+	CNPIntervalNs int64
+}
+
+// DefaultDCQCN returns DCQCN parameters scaled for 100 Gbps links.
+func DefaultDCQCN() DCQCNConfig {
+	return DCQCNConfig{
+		LinkBps:       100e9,
+		G:             1.0 / 256,
+		AlphaTimerNs:  55_000,
+		RateTimerNs:   150_000,
+		F:             5,
+		RaiBps:        200e6,
+		RhaiBps:       1e9,
+		MinRateBps:    100e6,
+		CNPIntervalNs: 25_000,
+	}
+}
+
+// dcqcnState is the per-flow rate controller.
+type dcqcnState struct {
+	cfg       DCQCNConfig
+	rc        float64 // current rate (bps)
+	rt        float64 // target rate
+	alpha     float64
+	stage     int   // rate-increase events since the last cut
+	lastCNPNs int64 // for alpha-timer gating
+	sawCNP    bool
+	fixed     bool // scripted constant-rate flow: CC disabled
+}
+
+func newDCQCNState(cfg DCQCNConfig) dcqcnState {
+	// Flows start at line rate (§2.1: traffic "rapidly initiated ... with
+	// a high initial rate").
+	return dcqcnState{cfg: cfg, rc: cfg.LinkBps, rt: cfg.LinkBps, alpha: 1}
+}
+
+// onCNP applies the DCQCN rate decrease.
+func (d *dcqcnState) onCNP(now int64) {
+	d.rt = d.rc
+	d.rc *= 1 - d.alpha/2
+	if d.rc < d.cfg.MinRateBps {
+		d.rc = d.cfg.MinRateBps
+	}
+	d.alpha = (1-d.cfg.G)*d.alpha + d.cfg.G
+	d.stage = 0
+	d.lastCNPNs = now
+	d.sawCNP = true
+}
+
+// onAlphaTimer decays alpha when the flow has been CNP-free for a full
+// timer period.
+func (d *dcqcnState) onAlphaTimer(now int64) {
+	if d.sawCNP && now-d.lastCNPNs < d.cfg.AlphaTimerNs {
+		return
+	}
+	d.alpha *= 1 - d.cfg.G
+}
+
+// onRateTimer performs one rate-increase event: F fast-recovery halvings
+// toward the target, then additive increase, then hyper increase.
+func (d *dcqcnState) onRateTimer() {
+	d.stage++
+	switch {
+	case d.stage <= d.cfg.F: // fast recovery
+		// rt unchanged
+	case d.stage <= 2*d.cfg.F: // additive increase
+		d.rt += d.cfg.RaiBps
+	default: // hyper increase
+		d.rt += d.cfg.RhaiBps
+	}
+	if d.rt > d.cfg.LinkBps {
+		d.rt = d.cfg.LinkBps
+	}
+	d.rc = (d.rc + d.rt) / 2
+	if d.rc > d.cfg.LinkBps {
+		d.rc = d.cfg.LinkBps
+	}
+}

@@ -1,0 +1,111 @@
+package netsim
+
+// DCTCP-style window congestion control (Alizadeh et al., SIGCOMM'10).
+// The paper's µEvent design (§5) covers both DCQCN/RoCE and DCTCP fabrics —
+// both sense congestion through CE marks — and Figure 9a's "TCP flow" use
+// case needs a window-based, ACK-clocked sender. This implements the
+// canonical DCTCP loop: receivers echo each segment's CE bit on the
+// cumulative ACK; senders keep an EWMA α of the marked fraction per window
+// epoch and cut cwnd by α/2; growth is standard slow start + congestion
+// avoidance; loss (go-back-N NAK or a stall timeout) halves the window.
+
+// DCTCPConfig parameterizes window-based flows.
+type DCTCPConfig struct {
+	// MSSBytes is the segment payload (defaults to PayloadBytes).
+	MSSBytes int64
+	// InitCwndSegments is the initial window in segments (default 10).
+	InitCwndSegments int64
+	// G is the α EWMA gain (paper: 1/16).
+	G float64
+	// RTONs is the stall-recovery timeout (default 500 µs).
+	RTONs int64
+}
+
+// DefaultDCTCP returns the standard parameters.
+func DefaultDCTCP() DCTCPConfig {
+	return DCTCPConfig{MSSBytes: PayloadBytes, InitCwndSegments: 10, G: 1.0 / 16, RTONs: 500_000}
+}
+
+func (c *DCTCPConfig) fill() {
+	if c.MSSBytes <= 0 {
+		c.MSSBytes = PayloadBytes
+	}
+	if c.InitCwndSegments <= 0 {
+		c.InitCwndSegments = 10
+	}
+	if c.G <= 0 {
+		c.G = 1.0 / 16
+	}
+	if c.RTONs <= 0 {
+		c.RTONs = 500_000
+	}
+}
+
+// dctcpState is the per-flow window controller.
+type dctcpState struct {
+	cfg      DCTCPConfig
+	cwnd     float64 // bytes
+	ssthresh float64
+	alpha    float64
+	// Epoch accounting: one α update and at most one cut per window.
+	ackCnt   int
+	ecnCnt   int
+	epochEnd uint32 // PSN that closes the current epoch
+	cutDone  bool
+}
+
+func newDCTCPState(cfg DCTCPConfig) *dctcpState {
+	cfg.fill()
+	return &dctcpState{
+		cfg:      cfg,
+		cwnd:     float64(cfg.InitCwndSegments * cfg.MSSBytes),
+		ssthresh: 1e18, // slow start until the first congestion signal
+	}
+}
+
+// onAck processes one cumulative ACK: ece echoes the newest segment's CE
+// bit; nextPSN is the sender's next PSN to send (the epoch boundary).
+func (d *dctcpState) onAck(ece bool, nextPSN uint32) {
+	d.ackCnt++
+	if ece {
+		d.ecnCnt++
+		// DCTCP cuts once per epoch, proportionally to α, on the first
+		// mark it sees in the epoch.
+		if !d.cutDone {
+			d.cutDone = true
+			d.cwnd *= 1 - d.alpha/2
+			d.ssthresh = d.cwnd
+			d.clampCwnd()
+		}
+	}
+	// Window growth.
+	mss := float64(d.cfg.MSSBytes)
+	if d.cwnd < d.ssthresh {
+		d.cwnd += mss // slow start: +1 MSS per ACK
+	} else {
+		d.cwnd += mss * mss / d.cwnd // congestion avoidance
+	}
+}
+
+// onEpochEnd folds the epoch's mark fraction into α.
+func (d *dctcpState) onEpochEnd() {
+	if d.ackCnt > 0 {
+		f := float64(d.ecnCnt) / float64(d.ackCnt)
+		d.alpha = (1-d.cfg.G)*d.alpha + d.cfg.G*f
+	}
+	d.ackCnt, d.ecnCnt = 0, 0
+	d.cutDone = false
+}
+
+// onLoss reacts to a go-back-N NAK or a stall timeout.
+func (d *dctcpState) onLoss() {
+	d.ssthresh = d.cwnd / 2
+	d.cwnd = d.ssthresh
+	d.clampCwnd()
+}
+
+func (d *dctcpState) clampCwnd() {
+	if min := float64(d.cfg.MSSBytes); d.cwnd < min {
+		d.cwnd = min
+	}
+}

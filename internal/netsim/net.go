@@ -1,0 +1,521 @@
+package netsim
+
+import (
+	"fmt"
+
+	"umon/internal/flowkey"
+)
+
+// RedConfig is the ECN marking configuration (§7.2: KMin 20 KiB, KMax
+// 200 KiB, PMax 0.01). Marking probability is 0 below KMin, rises linearly
+// to PMax at KMax, and is 1 above KMax.
+type RedConfig struct {
+	KMinBytes int64
+	KMaxBytes int64
+	PMax      float64
+}
+
+// DefaultRed returns the paper's marking thresholds.
+func DefaultRed() RedConfig {
+	return RedConfig{KMinBytes: 20 << 10, KMaxBytes: 200 << 10, PMax: 0.01}
+}
+
+// markProb returns the marking probability at queue length q.
+func (r RedConfig) markProb(q int64) float64 {
+	switch {
+	case q < r.KMinBytes:
+		return 0
+	case q >= r.KMaxBytes:
+		return 1
+	default:
+		return r.PMax * float64(q-r.KMinBytes) / float64(r.KMaxBytes-r.KMinBytes)
+	}
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	Topo        *Topology
+	LinkBps     float64 // link rate, default 100 Gbps
+	PropDelayNs int64   // per-hop propagation latency, default 1 µs
+	BufferBytes int64   // per egress port buffer, default 2 MiB
+	ECN         RedConfig
+	DCQCN       DCQCNConfig
+	// QueueSampleNs is the switch-port queue sampling period (Fig. 16c);
+	// 0 disables sampling.
+	QueueSampleNs int64
+	// EpisodeThresholdBytes opens a ground-truth congestion episode when a
+	// switch egress queue reaches it (default: ECN KMin).
+	EpisodeThresholdBytes int64
+	// HostInjectCapBytes bounds the host NIC egress queue before flow
+	// injection blocks (models NIC backpressure), default 8 KB.
+	HostInjectCapBytes int64
+	// PFC enables lossless (pause/resume) operation; disabled by default,
+	// matching the paper's DCQCN-without-PFC evaluation.
+	PFC  PFCConfig
+	Seed uint64
+}
+
+// DefaultConfig returns the evaluation configuration on the given topology.
+func DefaultConfig(topo *Topology) Config {
+	return Config{
+		Topo:          topo,
+		LinkBps:       100e9,
+		PropDelayNs:   1000,
+		BufferBytes:   2 << 20,
+		ECN:           DefaultRed(),
+		DCQCN:         DefaultDCQCN(),
+		QueueSampleNs: 10_000,
+		Seed:          1,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.LinkBps <= 0 {
+		c.LinkBps = 100e9
+	}
+	if c.PropDelayNs <= 0 {
+		c.PropDelayNs = 1000
+	}
+	if c.BufferBytes <= 0 {
+		c.BufferBytes = 2 << 20
+	}
+	if c.ECN.KMaxBytes <= 0 {
+		c.ECN = DefaultRed()
+	}
+	if c.DCQCN.LinkBps <= 0 {
+		c.DCQCN = DefaultDCQCN()
+		c.DCQCN.LinkBps = c.LinkBps
+	}
+	if c.EpisodeThresholdBytes <= 0 {
+		c.EpisodeThresholdBytes = c.ECN.KMinBytes
+	}
+	if c.HostInjectCapBytes <= 0 {
+		c.HostInjectCapBytes = 8 << 10
+	}
+}
+
+// --- trace records ---
+
+// EgressRecord is one data packet leaving a host NIC: the stream the
+// host-side WaveSketch measures.
+type EgressRecord struct {
+	Ns     int64
+	FlowID int32
+	Size   int32
+	Flow   flowkey.Key
+}
+
+// CERecord is one CE-marked packet observed at a switch egress port — the
+// raw material of µEvent detection.
+type CERecord struct {
+	Ns     int64
+	Switch int16 // switch index (0-based over switches)
+	Port   int16
+	FlowID int32
+	PSN    uint32
+	Size   int32
+	Flow   flowkey.Key
+}
+
+// DropRecord logs one tail-dropped packet at a switch egress port.
+type DropRecord struct {
+	Ns     int64
+	Switch int16
+	Port   int16
+	FlowID int32
+}
+
+// QueueSample is a periodic queue-length observation of one switch port.
+type QueueSample struct {
+	Ns    int64
+	Bytes int64
+}
+
+// PortID names a switch egress port.
+type PortID struct {
+	Switch int16
+	Port   int16
+}
+
+// Episode is a ground-truth congestion event: a maximal period during
+// which a switch egress queue stayed at or above the episode threshold.
+type Episode struct {
+	Port     PortID
+	StartNs  int64
+	EndNs    int64
+	MaxBytes int64
+	Flows    []int32 // participating flows (enqueued during the episode)
+}
+
+// Duration returns the episode length in nanoseconds.
+func (e *Episode) Duration() int64 { return e.EndNs - e.StartNs }
+
+// FlowStat summarizes one flow's fate.
+type FlowStat struct {
+	ID          int32
+	Key         flowkey.Key
+	Src, Dst    int
+	Bytes       int64
+	StartNs     int64
+	FirstTxNs   int64
+	LastRxNs    int64
+	RxBytes     int64
+	TxBytes     int64
+	Drops       int64
+	CNPs        int64
+	Retransmits int64 // go-back-N segments resent
+}
+
+// DurationNs returns the observed active time (first tx → last rx).
+func (f *FlowStat) DurationNs() int64 {
+	if f.LastRxNs <= f.FirstTxNs {
+		return 0
+	}
+	return f.LastRxNs - f.FirstTxNs
+}
+
+// Trace is everything the monitoring experiments consume.
+type Trace struct {
+	DurationNs   int64
+	HostPackets  [][]EgressRecord // indexed by host
+	CELog        []CERecord
+	Episodes     []Episode
+	QueueSamples map[PortID][]QueueSample
+	Flows        []FlowStat
+	PFCLog       []PFCRecord
+	DropLog      []DropRecord
+	Events       int // engine events executed
+}
+
+// TotalPackets counts host egress data packets.
+func (t *Trace) TotalPackets() int64 {
+	var n int64
+	for _, h := range t.HostPackets {
+		n += int64(len(h))
+	}
+	return n
+}
+
+// --- runtime ---
+
+type port struct {
+	owner    NodeID
+	index    int
+	peer     NodeID
+	peerPort int
+	rateBps  float64
+
+	queue  []*Packet
+	qbytes int64
+	busy   bool
+	drops  int64
+
+	// Ground-truth episode tracking (switch ports only).
+	epActive bool
+	epStart  int64
+	epMax    int64
+	epFlows  map[int32]struct{}
+
+	// PFC state: pfcAsserted is this queue pausing its feeders; paused is
+	// this transmitter being paused by its link peer; pausedNs accumulates
+	// paused wall time.
+	pfcAsserted bool
+	paused      bool
+	pausedNs    int64
+
+	samples []QueueSample
+}
+
+// Network is a running simulation.
+type Network struct {
+	cfg   Config
+	eng   *Engine
+	topo  *Topology
+	ports [][]*port
+	hosts []*host
+	trace *Trace
+	rngs  rngState
+	// OnHostEgress, if set, is invoked for every data packet leaving a
+	// host NIC (in addition to trace recording).
+	OnHostEgress func(host int, pkt *Packet, now int64)
+	// OnSwitchCE, if set, is invoked for every CE-marked packet leaving a
+	// switch egress port — the live feed a µMon switch monitor taps.
+	OnSwitchCE func(sw, port int16, pkt *Packet, now int64)
+}
+
+// rngState is a tiny deterministic PRNG (xorshift*) so that marking
+// decisions don't depend on math/rand's global state.
+type rngState struct{ s uint64 }
+
+func (r *rngState) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+func (r *rngState) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// New builds a network over the configured topology.
+func New(cfg Config) (*Network, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("netsim: Config.Topo is required")
+	}
+	cfg.fillDefaults()
+	n := &Network{
+		cfg:  cfg,
+		eng:  NewEngine(),
+		topo: cfg.Topo,
+		rngs: rngState{s: cfg.Seed*0x9e3779b97f4a7c15 + 0x1234567},
+	}
+	n.eng.net = n
+	n.trace = &Trace{
+		HostPackets:  make([][]EgressRecord, cfg.Topo.Hosts),
+		QueueSamples: make(map[PortID][]QueueSample),
+	}
+	n.ports = make([][]*port, cfg.Topo.Nodes())
+	for v := 0; v < cfg.Topo.Nodes(); v++ {
+		defs := cfg.Topo.Ports[v]
+		n.ports[v] = make([]*port, len(defs))
+		for i, d := range defs {
+			n.ports[v][i] = &port{
+				owner: NodeID(v), index: i,
+				peer: d.Peer, peerPort: d.PeerPort,
+				rateBps: cfg.LinkBps,
+			}
+		}
+	}
+	n.hosts = make([]*host, cfg.Topo.Hosts)
+	for h := range n.hosts {
+		n.hosts[h] = newHost(n, h)
+	}
+	return n, nil
+}
+
+// Engine exposes the event engine (examples schedule custom events).
+func (n *Network) Engine() *Engine { return n.eng }
+
+// Trace returns the accumulating trace.
+func (n *Network) Trace() *Trace { return n.trace }
+
+// switchIndex converts a node id into a 0-based switch index.
+func (n *Network) switchIndex(v NodeID) int16 { return int16(int(v) - n.topo.Hosts) }
+
+// enqueue places pkt on the egress port, applying RED marking, episode
+// tracking and tail drop.
+func (n *Network) enqueue(p *port, pkt *Packet) {
+	now := n.eng.Now()
+	if p.qbytes+int64(pkt.Size) > n.cfg.BufferBytes {
+		p.drops++
+		if int(pkt.FlowID) < len(n.trace.Flows) {
+			n.trace.Flows[pkt.FlowID].Drops++
+		}
+		if !n.topo.IsHost(p.owner) && pkt.Type == Data {
+			n.trace.DropLog = append(n.trace.DropLog, DropRecord{
+				Ns: now, Switch: n.switchIndex(p.owner), Port: int16(p.index), FlowID: pkt.FlowID,
+			})
+		}
+		return
+	}
+	isSwitch := !n.topo.IsHost(p.owner)
+	if isSwitch && pkt.ECT && !pkt.CE {
+		if prob := n.cfg.ECN.markProb(p.qbytes); prob > 0 && (prob >= 1 || n.rngs.float64() < prob) {
+			pkt.CE = true
+		}
+	}
+	p.queue = append(p.queue, pkt)
+	p.qbytes += int64(pkt.Size)
+
+	if isSwitch {
+		n.trackEpisode(p, pkt, now)
+		n.pfcCheck(p)
+	}
+	if !p.busy {
+		n.startTx(p)
+	}
+}
+
+// trackEpisode maintains ground-truth congestion episodes on switch ports.
+func (n *Network) trackEpisode(p *port, pkt *Packet, now int64) {
+	thr := n.cfg.EpisodeThresholdBytes
+	if !p.epActive {
+		if p.qbytes >= thr {
+			p.epActive = true
+			p.epStart = now
+			p.epMax = p.qbytes
+			if p.epFlows == nil {
+				p.epFlows = make(map[int32]struct{})
+			}
+			for _, q := range p.queue {
+				if q.Type == Data {
+					p.epFlows[q.FlowID] = struct{}{}
+				}
+			}
+		}
+		return
+	}
+	if p.qbytes > p.epMax {
+		p.epMax = p.qbytes
+	}
+	if pkt.Type == Data {
+		p.epFlows[pkt.FlowID] = struct{}{}
+	}
+}
+
+// closeEpisodeIfDrained finalizes an episode once the queue falls below
+// half the opening threshold (hysteresis, so that flapping right at the
+// threshold does not fragment one burst into many zero-length episodes).
+func (n *Network) closeEpisodeIfDrained(p *port, now int64) {
+	if !p.epActive || p.qbytes >= n.cfg.EpisodeThresholdBytes/2 {
+		return
+	}
+	n.finishEpisode(p, now)
+}
+
+func (n *Network) finishEpisode(p *port, now int64) {
+	flows := make([]int32, 0, len(p.epFlows))
+	for f := range p.epFlows {
+		flows = append(flows, f)
+	}
+	n.trace.Episodes = append(n.trace.Episodes, Episode{
+		Port:     PortID{Switch: n.switchIndex(p.owner), Port: int16(p.index)},
+		StartNs:  p.epStart,
+		EndNs:    now,
+		MaxBytes: p.epMax,
+		Flows:    flows,
+	})
+	p.epActive = false
+	for f := range p.epFlows {
+		delete(p.epFlows, f)
+	}
+}
+
+// startTx begins serializing the head-of-line packet. A paused transmitter
+// (PFC) stays silent until resumed.
+func (n *Network) startTx(p *port) {
+	if len(p.queue) == 0 || p.paused {
+		p.busy = false
+		return
+	}
+	p.busy = true
+	pkt := p.queue[0]
+	txNs := int64(float64(pkt.Size) * 8 / p.rateBps * 1e9)
+	if txNs < 1 {
+		txNs = 1
+	}
+	n.eng.afterFinishTx(txNs, p, pkt)
+}
+
+// finishTx completes serialization: the packet leaves the port and arrives
+// at the peer after the propagation delay.
+func (n *Network) finishTx(p *port, pkt *Packet) {
+	now := n.eng.Now()
+	p.queue = p.queue[1:]
+	p.qbytes -= int64(pkt.Size)
+
+	if n.topo.IsHost(p.owner) {
+		// Host NIC egress: the measurement point of §3 (µFlow at hosts).
+		if pkt.Type == Data {
+			h := int(p.owner)
+			n.trace.HostPackets[h] = append(n.trace.HostPackets[h], EgressRecord{
+				Ns: now, FlowID: pkt.FlowID, Size: pkt.Size, Flow: pkt.Flow,
+			})
+			if n.OnHostEgress != nil {
+				n.OnHostEgress(h, pkt, now)
+			}
+			if int(pkt.FlowID) < len(n.trace.Flows) {
+				n.trace.Flows[pkt.FlowID].TxBytes += int64(pkt.Size)
+			}
+		}
+		n.hosts[p.owner].onPortDrained(p)
+	} else {
+		// Switch egress: the µEvent observation point — CE packets are the
+		// ACL match candidates.
+		if pkt.CE {
+			sw := n.switchIndex(p.owner)
+			n.trace.CELog = append(n.trace.CELog, CERecord{
+				Ns:     now,
+				Switch: sw,
+				Port:   int16(p.index),
+				FlowID: pkt.FlowID,
+				PSN:    pkt.PSN,
+				Size:   pkt.Size,
+				Flow:   pkt.Flow,
+			})
+			if n.OnSwitchCE != nil {
+				n.OnSwitchCE(sw, int16(p.index), pkt, now)
+			}
+		}
+		n.closeEpisodeIfDrained(p, now)
+		n.pfcCheck(p)
+	}
+
+	n.eng.afterArrive(n.cfg.PropDelayNs, p.peer, pkt)
+	n.startTx(p)
+}
+
+// arrive delivers a packet to a node.
+func (n *Network) arrive(v NodeID, _ int, pkt *Packet) {
+	if n.topo.IsHost(v) {
+		n.hosts[v].receive(pkt)
+		return
+	}
+	// Switch forwarding: ECMP over shortest paths by flow hash.
+	dst := pkt.dstHost()
+	hops := n.topo.NextHops(v, dst)
+	if len(hops) == 0 {
+		return // unroutable; cannot happen on validated topologies
+	}
+	pi := hops[0]
+	if len(hops) > 1 {
+		pi = hops[int(pkt.Flow.Hash(ECMPSeed)%uint64(len(hops)))]
+	}
+	n.enqueue(n.ports[v][pi], pkt)
+}
+
+// scheduleQueueSampling arms periodic queue sampling on all switch ports.
+func (n *Network) scheduleQueueSampling(until int64) {
+	if n.cfg.QueueSampleNs <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		now := n.eng.Now()
+		for v := n.topo.Hosts; v < n.topo.Nodes(); v++ {
+			for _, p := range n.ports[v] {
+				id := PortID{Switch: n.switchIndex(NodeID(v)), Port: int16(p.index)}
+				n.trace.QueueSamples[id] = append(n.trace.QueueSamples[id], QueueSample{Ns: now, Bytes: p.qbytes})
+			}
+		}
+		if now+n.cfg.QueueSampleNs <= until {
+			n.eng.After(n.cfg.QueueSampleNs, tick)
+		}
+	}
+	n.eng.At(0, tick)
+}
+
+// Run executes the simulation until the given horizon, closing any episodes
+// still open, and returns the trace.
+func (n *Network) Run(untilNs int64) *Trace {
+	n.scheduleQueueSampling(untilNs)
+	n.trace.Events = n.eng.Run(untilNs)
+	for v := n.topo.Hosts; v < n.topo.Nodes(); v++ {
+		for _, p := range n.ports[v] {
+			if p.epActive {
+				n.finishEpisode(p, untilNs)
+			}
+		}
+	}
+	n.trace.DurationNs = untilNs
+	return n.trace
+}
+
+// ECMPSeed is the hash seed switches use to pick among equal-cost next
+// hops; exported so the analyzer can reproduce (and explain) path choices.
+const ECMPSeed uint64 = 0xec3b
+
+// dstHost decodes the destination host index from the flow key (hosts are
+// addressed 10.0.h.1, see host.go).
+func (p *Packet) dstHost() int { return int(p.Flow.DstIP>>8) & 0xffff }

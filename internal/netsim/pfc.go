@@ -1,0 +1,81 @@
+package netsim
+
+// Priority Flow Control (IEEE 802.1Qbb). The paper's µEvent taxonomy lists
+// PFC storms alongside microbursts (§5); RoCE deployments run lossless
+// classes where a congested queue pauses its upstream transmitters instead
+// of dropping. This file adds hop-by-hop pause/resume to the simulator:
+//
+//   - when a switch egress queue crosses XoffBytes, the switch sends PAUSE
+//     to the link peers of all its ports (the potential feeders);
+//   - when the queue drains below XonBytes it sends RESUME;
+//   - a paused transmitter finishes its in-flight frame and then stays
+//     silent until resumed.
+//
+// Pause frames are modeled as control messages with one propagation delay
+// and recorded in the trace, giving the analyzer a PFC-storm signal and
+// letting experiments contrast lossy (tail-drop) with lossless fabrics.
+
+// PFCConfig enables lossless operation.
+type PFCConfig struct {
+	Enabled   bool
+	XoffBytes int64 // assert PAUSE when an egress queue reaches this
+	XonBytes  int64 // deassert when it drains below this
+}
+
+// DefaultPFC returns common lossless-class thresholds.
+func DefaultPFC() PFCConfig {
+	return PFCConfig{Enabled: true, XoffBytes: 512 << 10, XonBytes: 256 << 10}
+}
+
+// PFCRecord logs one pause or resume assertion by a switch.
+type PFCRecord struct {
+	Ns     int64
+	Switch int16
+	Pause  bool
+}
+
+// pfcCheck asserts or deasserts pause around queue-occupancy changes on
+// switch egress ports.
+func (n *Network) pfcCheck(p *port) {
+	if !n.cfg.PFC.Enabled || n.topo.IsHost(p.owner) {
+		return
+	}
+	switch {
+	case !p.pfcAsserted && p.qbytes >= n.cfg.PFC.XoffBytes:
+		p.pfcAsserted = true
+		n.sendPause(p.owner, true)
+	case p.pfcAsserted && p.qbytes < n.cfg.PFC.XonBytes:
+		p.pfcAsserted = false
+		n.sendPause(p.owner, false)
+	}
+}
+
+// sendPause notifies every link peer of the switch to stop (or resume)
+// transmitting toward it. Real PFC pauses per ingress port and priority;
+// pausing all feeders is the standard output-queued-simulator
+// approximation and preserves the phenomenon that matters here: pause
+// propagation and head-of-line blocking.
+func (n *Network) sendPause(sw NodeID, pause bool) {
+	now := n.eng.Now()
+	n.trace.PFCLog = append(n.trace.PFCLog, PFCRecord{Ns: now, Switch: n.switchIndex(sw), Pause: pause})
+	for _, p := range n.ports[sw] {
+		feeder := n.ports[p.peer][p.peerPort]
+		n.eng.After(n.cfg.PropDelayNs, func() { n.setPaused(feeder, pause) })
+	}
+}
+
+// setPaused applies a pause state change to a transmitter.
+func (n *Network) setPaused(p *port, pause bool) {
+	if p.paused == pause {
+		return
+	}
+	p.paused = pause
+	if pause {
+		p.pausedNs -= n.eng.Now() // accumulate on resume
+		return
+	}
+	p.pausedNs += n.eng.Now()
+	if !p.busy && len(p.queue) > 0 {
+		n.startTx(p)
+	}
+}

@@ -1,0 +1,89 @@
+package netsim
+
+import "testing"
+
+// pfcIncast builds a 4:1 incast with fixed-rate senders that overwhelm a
+// small buffer.
+func pfcIncast(pfc PFCConfig, bufferBytes int64) *Trace {
+	topo, _ := Dumbbell(4)
+	cfg := DefaultConfig(topo)
+	cfg.BufferBytes = bufferBytes
+	cfg.PFC = pfc
+	cfg.DCQCN.G = 0 // keep senders pushing: isolates PFC behaviour
+	n, _ := New(cfg)
+	for s := 0; s < 4; s++ {
+		n.AddFlow(FlowSpec{Src: s, Dst: 4, Bytes: 20_000_000, StartNs: 0, FixedRateBps: 90e9})
+	}
+	return n.Run(3_000_000)
+}
+
+func TestPFCPreventsLoss(t *testing.T) {
+	lossy := pfcIncast(PFCConfig{}, 200<<10)
+	var lossyDrops int64
+	for _, f := range lossy.Flows {
+		lossyDrops += f.Drops
+	}
+	if lossyDrops == 0 {
+		t.Fatal("lossy baseline should drop under 4x overload into 200 KB")
+	}
+	if len(lossy.PFCLog) != 0 {
+		t.Error("PFC disabled must not emit pause frames")
+	}
+
+	// PFC thresholds well inside the buffer: pauses instead of drops.
+	lossless := pfcIncast(PFCConfig{Enabled: true, XoffBytes: 100 << 10, XonBytes: 50 << 10}, 200<<10)
+	var losslessDrops int64
+	for _, f := range lossless.Flows {
+		losslessDrops += f.Drops
+	}
+	if losslessDrops != 0 {
+		t.Errorf("lossless fabric dropped %d packets", losslessDrops)
+	}
+	if len(lossless.PFCLog) == 0 {
+		t.Fatal("no pause frames under sustained overload")
+	}
+	var pauses, resumes int
+	for _, r := range lossless.PFCLog {
+		if r.Pause {
+			pauses++
+		} else {
+			resumes++
+		}
+	}
+	if pauses == 0 || resumes == 0 {
+		t.Errorf("pauses/resumes = %d/%d, want both > 0", pauses, resumes)
+	}
+	if pauses < resumes {
+		t.Errorf("more resumes (%d) than pauses (%d)", resumes, pauses)
+	}
+}
+
+func TestPFCBackpressurePropagates(t *testing.T) {
+	// With PFC, the victim's congestion pauses upstream transmitters: the
+	// left switch's uplink accumulates a queue instead of the right
+	// switch's downlink dropping.
+	tr := pfcIncast(PFCConfig{Enabled: true, XoffBytes: 60 << 10, XonBytes: 30 << 10}, 2<<20)
+	if len(tr.PFCLog) == 0 {
+		t.Skip("no pause activity")
+	}
+	// All delivered traffic is conserved: received ≤ transmitted.
+	var tx, rx int64
+	for _, f := range tr.Flows {
+		tx += f.TxBytes
+		rx += f.RxBytes
+	}
+	if rx > tx {
+		t.Errorf("rx %d > tx %d", rx, tx)
+	}
+	// Aggregate goodput cannot exceed the bottleneck.
+	if g := float64(rx) * 8 / 3e-3; g > 101e9 {
+		t.Errorf("goodput %v exceeds bottleneck under PFC", g)
+	}
+}
+
+func TestPFCDefaultConfig(t *testing.T) {
+	p := DefaultPFC()
+	if !p.Enabled || p.XoffBytes <= p.XonBytes {
+		t.Errorf("bad default PFC config %+v", p)
+	}
+}

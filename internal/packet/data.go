@@ -1,0 +1,91 @@
+package packet
+
+import (
+	"fmt"
+
+	"umon/internal/flowkey"
+)
+
+// Data is a plain (non-mirrored) RoCEv2 data packet's parsed headers.
+type Data struct {
+	Flow    flowkey.Key
+	PSN     uint32
+	CE      bool
+	WireLen int // original wire length incl. Ethernet + FCS
+}
+
+// EncodeData builds an Ethernet/IPv4/UDP/BTH frame for a data packet,
+// truncating the payload to at most payloadCap bytes (0 keeps headers
+// only). Used to export simulated traffic as pcap.
+func EncodeData(d *Data, payloadCap int) []byte {
+	ipLen := d.WireLen - EthernetLen - 4
+	if ipLen < IPv4Len+UDPLen+BTHLen {
+		ipLen = IPv4Len + UDPLen + BTHLen
+	}
+	if ipLen > 0xffff {
+		ipLen = 0xffff
+	}
+	b := make([]byte, 0, EthernetLen+IPv4Len+UDPLen+BTHLen+payloadCap)
+	eth := Ethernet{EtherType: EtherTypeIPv4}
+	b = eth.Marshal(b)
+	ecn := uint8(ECNECT0)
+	if d.CE {
+		ecn = ECNCE
+	}
+	ip := IPv4{
+		ECN: ecn, TotalLen: uint16(ipLen), TTL: 64, Protocol: IPProtoUDP,
+		SrcIP: d.Flow.SrcIP, DstIP: d.Flow.DstIP,
+	}
+	b = ip.Marshal(b)
+	udp := UDP{SrcPort: d.Flow.SrcPort, DstPort: d.Flow.DstPort, Length: uint16(ipLen - IPv4Len)}
+	b = udp.Marshal(b)
+	bth := BTH{Opcode: 0x0a, PSN: d.PSN & 0xffffff}
+	b = bth.Marshal(b)
+	pay := ipLen - IPv4Len - UDPLen - BTHLen
+	if pay > payloadCap {
+		pay = payloadCap
+	}
+	if pay > 0 {
+		b = append(b, make([]byte, pay)...)
+	}
+	return b
+}
+
+// DecodeData parses a frame produced by EncodeData (or any plain RoCEv2
+// frame without a VLAN tag).
+func DecodeData(b []byte) (*Data, error) {
+	var eth Ethernet
+	rest, err := eth.Unmarshal(b)
+	if err != nil {
+		return nil, err
+	}
+	if eth.EtherType != EtherTypeIPv4 {
+		return nil, fmt.Errorf("packet: not an IPv4 frame (ethertype %#04x)", eth.EtherType)
+	}
+	var ip IPv4
+	if rest, err = ip.Unmarshal(rest); err != nil {
+		return nil, err
+	}
+	if ip.Protocol != IPProtoUDP {
+		return nil, fmt.Errorf("packet: unsupported protocol %d", ip.Protocol)
+	}
+	var udp UDP
+	if rest, err = udp.Unmarshal(rest); err != nil {
+		return nil, err
+	}
+	var bth BTH
+	if udp.DstPort == UDPPortRoCE {
+		if _, err = bth.Unmarshal(rest); err != nil {
+			return nil, err
+		}
+	}
+	return &Data{
+		Flow: flowkey.Key{
+			SrcIP: ip.SrcIP, DstIP: ip.DstIP,
+			SrcPort: udp.SrcPort, DstPort: udp.DstPort, Proto: flowkey.ProtoUDP,
+		},
+		PSN:     bth.PSN,
+		CE:      ip.ECN == ECNCE,
+		WireLen: int(ip.TotalLen) + EthernetLen + 4,
+	}, nil
+}

@@ -1,0 +1,123 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"umon/internal/flowkey"
+)
+
+// Mirrored is a parsed remote-mirrored event packet: the original RoCEv2
+// headers wrapped in the mirror VLAN tag, preceded by the switch's local
+// timestamp trailer (§5/§6.1: "switches can configure the mirroring port to
+// add a local timestamp to each mirrored packet").
+type Mirrored struct {
+	// VLANID encodes the observation point: µMon assigns one VLAN id per
+	// mirrored switch port.
+	VLANID uint16
+	// TimestampNs is the switch-local timestamp.
+	TimestampNs int64
+	// Flow is the original packet's 5-tuple.
+	Flow flowkey.Key
+	// PSN is the RoCEv2 packet sequence number.
+	PSN uint32
+	// CE reports whether the packet carried the congestion-experienced
+	// codepoint (it always should, given the ACL match).
+	CE bool
+	// OrigLen is the original packet's IP total length + Ethernet overhead.
+	OrigLen int
+}
+
+// mirrorTrailerLen is the 8-byte timestamp trailer appended by the mirror
+// port.
+const mirrorTrailerLen = 8
+
+// EncodeMirror builds the wire form of one mirrored event packet: an
+// Ethernet+VLAN encapsulation of the original headers (truncated to
+// headers only, as mirror sessions do) plus the timestamp trailer.
+func EncodeMirror(m *Mirrored) []byte {
+	b := make([]byte, 0, EthernetLen+VLANLen+IPv4Len+UDPLen+BTHLen+mirrorTrailerLen)
+	eth := Ethernet{EtherType: EtherTypeVLAN}
+	b = eth.Marshal(b)
+	vlan := VLAN{ID: m.VLANID, EtherType: EtherTypeIPv4}
+	b = vlan.Marshal(b)
+	ecn := uint8(ECNECT0)
+	if m.CE {
+		ecn = ECNCE
+	}
+	ip := IPv4{
+		ECN:      ecn,
+		TotalLen: uint16(IPv4Len + UDPLen + BTHLen),
+		TTL:      63,
+		Protocol: IPProtoUDP,
+		SrcIP:    m.Flow.SrcIP,
+		DstIP:    m.Flow.DstIP,
+	}
+	if m.OrigLen > 0 {
+		orig := m.OrigLen - EthernetLen - 4 // strip Ethernet+FCS
+		if orig > 0 && orig <= 0xffff {
+			ip.TotalLen = uint16(orig)
+		}
+	}
+	b = ip.Marshal(b)
+	udp := UDP{SrcPort: m.Flow.SrcPort, DstPort: m.Flow.DstPort, Length: ip.TotalLen - IPv4Len}
+	b = udp.Marshal(b)
+	bth := BTH{Opcode: 0x0a /* RC SEND only */, PSN: m.PSN & 0xffffff}
+	b = bth.Marshal(b)
+	return binary.BigEndian.AppendUint64(b, uint64(m.TimestampNs))
+}
+
+// DecodeMirror parses a mirrored event packet produced by EncodeMirror (or
+// an equivalently configured switch mirror session).
+func DecodeMirror(b []byte) (*Mirrored, error) {
+	var eth Ethernet
+	rest, err := eth.Unmarshal(b)
+	if err != nil {
+		return nil, err
+	}
+	if eth.EtherType != EtherTypeVLAN {
+		return nil, fmt.Errorf("packet: mirrored packet lacks VLAN tag (ethertype %#04x)", eth.EtherType)
+	}
+	var vlan VLAN
+	if rest, err = vlan.Unmarshal(rest); err != nil {
+		return nil, err
+	}
+	if vlan.EtherType != EtherTypeIPv4 {
+		return nil, fmt.Errorf("packet: unsupported inner ethertype %#04x", vlan.EtherType)
+	}
+	if len(rest) < mirrorTrailerLen {
+		return nil, fmt.Errorf("packet: missing mirror timestamp trailer")
+	}
+	trailer := rest[len(rest)-mirrorTrailerLen:]
+	rest = rest[:len(rest)-mirrorTrailerLen]
+
+	var ip IPv4
+	if rest, err = ip.Unmarshal(rest); err != nil {
+		return nil, err
+	}
+	if ip.Protocol != IPProtoUDP {
+		return nil, fmt.Errorf("packet: unsupported inner protocol %d", ip.Protocol)
+	}
+	var udp UDP
+	if rest, err = udp.Unmarshal(rest); err != nil {
+		return nil, err
+	}
+	var bth BTH
+	if udp.DstPort == UDPPortRoCE {
+		if _, err = bth.Unmarshal(rest); err != nil {
+			return nil, err
+		}
+	}
+	return &Mirrored{
+		VLANID:      vlan.ID,
+		TimestampNs: int64(binary.BigEndian.Uint64(trailer)),
+		Flow: flowkey.Key{
+			SrcIP: ip.SrcIP, DstIP: ip.DstIP,
+			SrcPort: udp.SrcPort, DstPort: udp.DstPort,
+			Proto: flowkey.ProtoUDP,
+		},
+		PSN:     bth.PSN,
+		CE:      ip.ECN == ECNCE,
+		OrigLen: int(ip.TotalLen) + EthernetLen + 4,
+	}, nil
+}

@@ -1,0 +1,185 @@
+// Package pcapio reads and writes the classic libpcap capture format
+// (nanosecond-precision variant, magic 0xa1b23c4d), so µMon traces and
+// mirrored event packets can be exchanged with standard tooling. Stdlib
+// only.
+package pcapio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Magic numbers of the classic pcap format.
+const (
+	magicNano  = 0xa1b23c4d // nanosecond timestamps (what we write)
+	magicMicro = 0xa1b2c3d4 // microsecond timestamps (accepted on read)
+)
+
+// LinkTypeEthernet is the DLT for Ethernet frames.
+const LinkTypeEthernet = 1
+
+const (
+	fileHeaderLen   = 24
+	recordHeaderLen = 16
+)
+
+// Packet is one captured record.
+type Packet struct {
+	TimestampNs int64
+	// Data holds the captured bytes (possibly truncated to SnapLen).
+	Data []byte
+	// OrigLen is the original wire length.
+	OrigLen int
+}
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w       io.Writer
+	snapLen uint32
+	started bool
+}
+
+// NewWriter returns a Writer with the given snap length (0 = 65535).
+func NewWriter(w io.Writer, snapLen int) *Writer {
+	if snapLen <= 0 {
+		snapLen = 65535
+	}
+	return &Writer{w: w, snapLen: uint32(snapLen)}
+}
+
+func (w *Writer) writeHeader() error {
+	var h [fileHeaderLen]byte
+	binary.LittleEndian.PutUint32(h[0:4], magicNano)
+	binary.LittleEndian.PutUint16(h[4:6], 2) // major
+	binary.LittleEndian.PutUint16(h[6:8], 4) // minor
+	binary.LittleEndian.PutUint32(h[16:20], w.snapLen)
+	binary.LittleEndian.PutUint32(h[20:24], LinkTypeEthernet)
+	_, err := w.w.Write(h[:])
+	return err
+}
+
+// WritePacket appends one record, truncating to the snap length.
+func (w *Writer) WritePacket(p Packet) error {
+	if !w.started {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+		w.started = true
+	}
+	data := p.Data
+	if uint32(len(data)) > w.snapLen {
+		data = data[:w.snapLen]
+	}
+	orig := p.OrigLen
+	if orig < len(data) {
+		orig = len(data)
+	}
+	var h [recordHeaderLen]byte
+	sec := uint32(p.TimestampNs / 1e9)
+	nsec := uint32(p.TimestampNs % 1e9)
+	binary.LittleEndian.PutUint32(h[0:4], sec)
+	binary.LittleEndian.PutUint32(h[4:8], nsec)
+	binary.LittleEndian.PutUint32(h[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(h[12:16], uint32(orig))
+	if _, err := w.w.Write(h[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(data)
+	return err
+}
+
+// Flush finishes the stream; with no packets written it still emits the
+// file header so the output is a valid (empty) capture.
+func (w *Writer) Flush() error {
+	if !w.started {
+		w.started = true
+		return w.writeHeader()
+	}
+	return nil
+}
+
+// Reader consumes a pcap stream.
+type Reader struct {
+	r        io.Reader
+	bigEnd   bool
+	nano     bool
+	snapLen  uint32
+	LinkType uint32
+}
+
+// NewReader validates the file header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	var h [fileHeaderLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return nil, fmt.Errorf("pcapio: short file header: %w", err)
+	}
+	rd := &Reader{r: r}
+	magicLE := binary.LittleEndian.Uint32(h[0:4])
+	magicBE := binary.BigEndian.Uint32(h[0:4])
+	switch {
+	case magicLE == magicNano:
+		rd.nano = true
+	case magicLE == magicMicro:
+	case magicBE == magicNano:
+		rd.nano, rd.bigEnd = true, true
+	case magicBE == magicMicro:
+		rd.bigEnd = true
+	default:
+		return nil, fmt.Errorf("pcapio: bad magic %#08x", magicLE)
+	}
+	rd.snapLen = rd.u32(h[16:20])
+	rd.LinkType = rd.u32(h[20:24])
+	return rd, nil
+}
+
+func (r *Reader) u32(b []byte) uint32 {
+	if r.bigEnd {
+		return binary.BigEndian.Uint32(b)
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// ReadPacket returns the next record, or io.EOF at the end of the stream.
+func (r *Reader) ReadPacket() (Packet, error) {
+	var h [recordHeaderLen]byte
+	if _, err := io.ReadFull(r.r, h[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return Packet{}, err
+	}
+	sec := int64(r.u32(h[0:4]))
+	sub := int64(r.u32(h[4:8]))
+	capLen := r.u32(h[8:12])
+	orig := r.u32(h[12:16])
+	if r.snapLen > 0 && capLen > r.snapLen+65536 {
+		return Packet{}, fmt.Errorf("pcapio: implausible capture length %d", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Packet{}, fmt.Errorf("pcapio: truncated record: %w", err)
+	}
+	ns := sec * 1e9
+	if r.nano {
+		ns += sub
+	} else {
+		ns += sub * 1e3
+	}
+	return Packet{TimestampNs: ns, Data: data, OrigLen: int(orig)}, nil
+}
+
+// ReadAll drains the stream.
+func (r *Reader) ReadAll() ([]Packet, error) {
+	var out []Packet
+	for {
+		p, err := r.ReadPacket()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}

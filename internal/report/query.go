@@ -1,0 +1,159 @@
+package report
+
+import (
+	"umon/internal/flowkey"
+	"umon/internal/measure"
+	"umon/internal/wavelet"
+	"umon/internal/wavesketch"
+)
+
+// Queryable is a decoded report indexed for flow-rate queries on the
+// analyzer: the heavy entries answer directly; light queries hash into the
+// reported buckets, subtract co-located heavy flows and take the Count-Min
+// per-window minimum.
+type Queryable struct {
+	rep     *HostReport
+	seeds   []uint64
+	buckets map[[2]int]*wavesketch.BucketExport
+	heavy   map[flowkey.Key]*wavesketch.HeavyExport
+	// curveCache memoizes full-length reconstructions.
+	curveCache map[[2]int][]float64
+	heavyCache map[flowkey.Key][]float64
+}
+
+// NewQueryable indexes a decoded report.
+func NewQueryable(r *HostReport) *Queryable {
+	q := &Queryable{
+		rep:        r,
+		buckets:    make(map[[2]int]*wavesketch.BucketExport, len(r.Buckets)),
+		heavy:      make(map[flowkey.Key]*wavesketch.HeavyExport, len(r.Heavy)),
+		curveCache: make(map[[2]int][]float64),
+		heavyCache: make(map[flowkey.Key][]float64),
+	}
+	q.seeds = make([]uint64, r.Meta.Rows)
+	for i := range q.seeds {
+		q.seeds[i] = flowkey.RowSeed(r.Meta.Seed, i)
+	}
+	for i := range r.Buckets {
+		b := &r.Buckets[i]
+		q.buckets[[2]int{b.Row, b.Index}] = b
+	}
+	for i := range r.Heavy {
+		h := &r.Heavy[i]
+		q.heavy[h.Key] = h
+	}
+	return q
+}
+
+// Host returns the reporting host.
+func (q *Queryable) Host() int { return q.rep.Host }
+
+// IsHeavy reports whether the flow has a dedicated heavy entry.
+func (q *Queryable) IsHeavy(f flowkey.Key) bool {
+	_, ok := q.heavy[f]
+	return ok
+}
+
+// HeavyFlows lists flows with heavy entries.
+func (q *Queryable) HeavyFlows() []flowkey.Key {
+	out := make([]flowkey.Key, 0, len(q.heavy))
+	for k := range q.heavy {
+		out = append(out, k)
+	}
+	return out
+}
+
+func (q *Queryable) heavyCurve(k flowkey.Key) (int64, []float64) {
+	h := q.heavy[k]
+	if h == nil {
+		return 0, nil
+	}
+	c, ok := q.heavyCache[k]
+	if !ok {
+		c = wavelet.Reconstruct(h.Approx, h.Details, q.rep.Meta.Levels, h.Len)
+		q.heavyCache[k] = c
+	}
+	return h.W0, c
+}
+
+func (q *Queryable) bucketCurve(row, idx int) (*wavesketch.BucketExport, []float64) {
+	b := q.buckets[[2]int{row, idx}]
+	if b == nil {
+		return nil, nil
+	}
+	key := [2]int{row, idx}
+	c, ok := q.curveCache[key]
+	if !ok {
+		c = wavelet.Reconstruct(b.Approx, b.Details, q.rep.Meta.Levels, b.Len)
+		q.curveCache[key] = c
+	}
+	return b, c
+}
+
+// slice extracts [from, to) from a curve anchored at w0.
+func slice(w0 int64, curve []float64, from, to int64) []float64 {
+	out := make([]float64, to-from)
+	for w := from; w < to; w++ {
+		off := w - w0
+		if off >= 0 && off < int64(len(curve)) {
+			out[w-from] = curve[off]
+		}
+	}
+	return out
+}
+
+// QueryRange estimates flow f's per-window byte counts over [from, to).
+// Heavy flows answer from their dedicated curve, falling back to the light
+// estimate for windows before the heavy entry began (mid-flow election),
+// matching wavesketch.Full.QueryRange.
+func (q *Queryable) QueryRange(f flowkey.Key, from, to int64) []float64 {
+	if to < from {
+		to = from
+	}
+	if w0, c := q.heavyCurve(f); c != nil {
+		est := slice(w0, c, from, to)
+		if w0 > from {
+			cut := w0
+			if cut > to {
+				cut = to
+			}
+			copy(est[:cut-from], q.lightEstimate(f, from, cut))
+		}
+		return est
+	}
+	return q.lightEstimate(f, from, to)
+}
+
+// lightEstimate is the light-part Count-Min estimate with co-located
+// heavy-flow subtraction.
+func (q *Queryable) lightEstimate(f flowkey.Key, from, to int64) []float64 {
+	n := int(to - from)
+	rows := q.rep.Meta.Rows
+	curves := make([][]float64, rows)
+	for r := 0; r < rows; r++ {
+		idx := int(f.Hash(q.seeds[r]) % uint64(q.rep.Meta.Width))
+		b, c := q.bucketCurve(r, idx)
+		if b == nil {
+			// An absent bucket means zero traffic hashed there: the min is 0.
+			curves[r] = make([]float64, n)
+			continue
+		}
+		est := slice(b.W0, c, from, to)
+		// Subtract co-located heavy flows (§4.2).
+		for hk := range q.heavy {
+			if hk == f {
+				continue
+			}
+			if int(hk.Hash(q.seeds[r])%uint64(q.rep.Meta.Width)) != idx {
+				continue
+			}
+			hw0, hc := q.heavyCurve(hk)
+			hs := slice(hw0, hc, from, to)
+			for i := range est {
+				est[i] -= hs[i]
+			}
+		}
+		curves[r] = est
+	}
+	return measure.MinCombine(n, curves...)
+}

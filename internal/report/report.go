@@ -1,0 +1,297 @@
+// Package report defines the wire format hosts use to upload WaveSketch
+// measurements to the µMon analyzer, and the decoded, queryable form the
+// analyzer rebuilds. The encoding carries exactly what §4.2's bandwidth
+// analysis counts — per bucket: w0, the approximation set A and the
+// retained detail set D (level+index metadata, the α factor) — using
+// varints, so measured report sizes track the analytic compression ratio.
+package report
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"umon/internal/flowkey"
+	"umon/internal/measure"
+	"umon/internal/wavelet"
+	"umon/internal/wavesketch"
+)
+
+// magic and version identify the stream format.
+const (
+	magic   = 0x754d4f4e // "uMON"
+	version = 1
+)
+
+// SketchMeta is the sketch configuration the analyzer needs to re-locate a
+// flow's buckets (hash seeds and shape).
+type SketchMeta struct {
+	Rows   int
+	Width  int
+	Levels int
+	Seed   uint64
+}
+
+// HostReport is one measurement period's upload from one host.
+type HostReport struct {
+	Host        int
+	PeriodStart int64 // absolute window id of the period start
+	WindowShift uint8
+	Meta        SketchMeta
+	Buckets     []wavesketch.BucketExport
+	// Heavy carries the full version's per-flow heavy entries (empty for
+	// basic sketches).
+	Heavy []wavesketch.HeavyExport
+}
+
+// FromBasic builds a report from a sealed basic sketch.
+func FromBasic(host int, periodStart int64, s *wavesketch.Basic) *HostReport {
+	cfg := s.Config()
+	return &HostReport{
+		Host:        host,
+		PeriodStart: periodStart,
+		WindowShift: measure.DefaultWindowShift,
+		Meta:        SketchMeta{Rows: cfg.Rows, Width: cfg.Width, Levels: cfg.Levels, Seed: cfg.Seed},
+		Buckets:     s.Export(),
+	}
+}
+
+// FromFull builds a report from a sealed full sketch (light part buckets +
+// heavy entries).
+func FromFull(host int, periodStart int64, f *wavesketch.Full) *HostReport {
+	r := FromBasic(host, periodStart, f.Light())
+	r.Heavy = f.ExportHeavy()
+	return r
+}
+
+// --- encoding ---
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Encode writes the report and returns the number of bytes written.
+func (r *HostReport) Encode(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+
+	if err := binary.Write(bw, binary.LittleEndian, uint32(magic)); err != nil {
+		return cw.n, err
+	}
+	header := []uint64{
+		version, uint64(r.Host), uint64(r.PeriodStart), uint64(r.WindowShift),
+		uint64(r.Meta.Rows), uint64(r.Meta.Width), uint64(r.Meta.Levels), r.Meta.Seed,
+		uint64(len(r.Buckets)), uint64(len(r.Heavy)),
+	}
+	for _, v := range header {
+		if err := putUvarint(v); err != nil {
+			return cw.n, err
+		}
+	}
+	writeCurve := func(w0 int64, length int, approx []int64, details []wavelet.DetailRef) error {
+		if err := putVarint(w0); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(length)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(approx))); err != nil {
+			return err
+		}
+		for _, a := range approx {
+			if err := putVarint(a); err != nil {
+				return err
+			}
+		}
+		if err := putUvarint(uint64(len(details))); err != nil {
+			return err
+		}
+		for _, d := range details {
+			if err := putUvarint(uint64(d.Level)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(d.Index)); err != nil {
+				return err
+			}
+			if err := putVarint(d.Val); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, b := range r.Buckets {
+		if err := putUvarint(uint64(b.Row)); err != nil {
+			return cw.n, err
+		}
+		if err := putUvarint(uint64(b.Index)); err != nil {
+			return cw.n, err
+		}
+		if err := writeCurve(b.W0, b.Len, b.Approx, b.Details); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, h := range r.Heavy {
+		k := h.Key
+		for _, v := range []uint64{uint64(k.SrcIP), uint64(k.DstIP), uint64(k.SrcPort), uint64(k.DstPort), uint64(k.Proto)} {
+			if err := putUvarint(v); err != nil {
+				return cw.n, err
+			}
+		}
+		if err := writeCurve(h.W0, h.Len, h.Approx, h.Details); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// Decode parses a report produced by Encode.
+func Decode(rd io.Reader) (*HostReport, error) {
+	br := bufio.NewReader(rd)
+	var m uint32
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("report: short magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("report: bad magic %#08x", m)
+	}
+	u := func() (uint64, error) { return binary.ReadUvarint(br) }
+	v := func() (int64, error) { return binary.ReadVarint(br) }
+
+	var hdr [10]uint64
+	for i := range hdr {
+		x, err := u()
+		if err != nil {
+			return nil, fmt.Errorf("report: truncated header: %w", err)
+		}
+		hdr[i] = x
+	}
+	if hdr[0] != version {
+		return nil, fmt.Errorf("report: unsupported version %d", hdr[0])
+	}
+	r := &HostReport{
+		Host:        int(hdr[1]),
+		PeriodStart: int64(hdr[2]),
+		WindowShift: uint8(hdr[3]),
+		Meta:        SketchMeta{Rows: int(hdr[4]), Width: int(hdr[5]), Levels: int(hdr[6]), Seed: hdr[7]},
+	}
+	nBuckets, nHeavy := hdr[8], hdr[9]
+	const sane = 1 << 24
+	if nBuckets > sane || nHeavy > sane {
+		return nil, fmt.Errorf("report: implausible counts %d/%d", nBuckets, nHeavy)
+	}
+	// Bound the sketch shape: reconstruction allocates O(len(A)·2^Levels),
+	// so a corrupted Levels field must be rejected, not obeyed.
+	if r.Meta.Levels < 1 || r.Meta.Levels > 24 {
+		return nil, fmt.Errorf("report: implausible wavelet depth %d", r.Meta.Levels)
+	}
+	if r.Meta.Rows < 1 || r.Meta.Rows > 64 || r.Meta.Width < 1 || r.Meta.Width > sane {
+		return nil, fmt.Errorf("report: implausible sketch shape %d×%d", r.Meta.Rows, r.Meta.Width)
+	}
+	readCurve := func() (int64, int, []int64, []wavelet.DetailRef, error) {
+		w0, err := v()
+		if err != nil {
+			return 0, 0, nil, nil, err
+		}
+		length, err := u()
+		if err != nil {
+			return 0, 0, nil, nil, err
+		}
+		na, err := u()
+		if err != nil || na > sane {
+			return 0, 0, nil, nil, fmt.Errorf("report: bad approx count: %w", err)
+		}
+		// Reconstruction expands approximations by 2^Levels: bound the
+		// product so corrupted inputs cannot force huge allocations.
+		if na<<uint(r.Meta.Levels) > 1<<28 || length > 1<<28 {
+			return 0, 0, nil, nil, fmt.Errorf("report: implausible curve size (%d approx, len %d)", na, length)
+		}
+		approx := make([]int64, na)
+		for i := range approx {
+			if approx[i], err = v(); err != nil {
+				return 0, 0, nil, nil, err
+			}
+		}
+		nd, err := u()
+		if err != nil || nd > sane {
+			return 0, 0, nil, nil, fmt.Errorf("report: bad detail count: %w", err)
+		}
+		details := make([]wavelet.DetailRef, nd)
+		for i := range details {
+			lv, err := u()
+			if err != nil {
+				return 0, 0, nil, nil, err
+			}
+			ix, err := u()
+			if err != nil {
+				return 0, 0, nil, nil, err
+			}
+			val, err := v()
+			if err != nil {
+				return 0, 0, nil, nil, err
+			}
+			details[i] = wavelet.DetailRef{Level: int(lv), Index: int(ix), Val: val}
+		}
+		return w0, int(length), approx, details, nil
+	}
+	for i := uint64(0); i < nBuckets; i++ {
+		row, err := u()
+		if err != nil {
+			return nil, err
+		}
+		idx, err := u()
+		if err != nil {
+			return nil, err
+		}
+		w0, length, approx, details, err := readCurve()
+		if err != nil {
+			return nil, fmt.Errorf("report: bucket %d: %w", i, err)
+		}
+		r.Buckets = append(r.Buckets, wavesketch.BucketExport{
+			Row: int(row), Index: int(idx), W0: w0, Len: length, Approx: approx, Details: details,
+		})
+	}
+	for i := uint64(0); i < nHeavy; i++ {
+		var parts [5]uint64
+		for j := range parts {
+			x, err := u()
+			if err != nil {
+				return nil, err
+			}
+			parts[j] = x
+		}
+		w0, length, approx, details, err := readCurve()
+		if err != nil {
+			return nil, fmt.Errorf("report: heavy %d: %w", i, err)
+		}
+		r.Heavy = append(r.Heavy, wavesketch.HeavyExport{
+			Key: flowkey.Key{
+				SrcIP: uint32(parts[0]), DstIP: uint32(parts[1]),
+				SrcPort: uint16(parts[2]), DstPort: uint16(parts[3]), Proto: uint8(parts[4]),
+			},
+			W0: w0, Len: length, Approx: approx, Details: details,
+		})
+	}
+	return r, nil
+}

@@ -1,0 +1,102 @@
+// Package timesync models the clock discipline µMon's network-wide
+// analysis depends on (§6.1): every host and switch stamps measurements
+// with a local clock that drifts and jitters, and a PTP-like protocol
+// periodically steers it back. The analyzer needs the residual error to
+// stay within two 8.192 µs windows; this package lets tests and the
+// analyzer reason about (and inject) that error.
+package timesync
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Clock is a drifting local clock.
+type Clock struct {
+	// OffsetNs is the current offset from true time.
+	OffsetNs float64
+	// DriftPPM is the frequency error in parts per million.
+	DriftPPM float64
+	// JitterNs is the per-reading Gaussian timestamp noise (1σ).
+	JitterNs float64
+
+	lastTrueNs int64
+	rng        *rand.Rand
+}
+
+// NewClock returns a clock with the given initial offset and drift.
+func NewClock(offsetNs, driftPPM, jitterNs float64, seed int64) *Clock {
+	return &Clock{
+		OffsetNs: offsetNs, DriftPPM: driftPPM, JitterNs: jitterNs,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// advance accrues drift up to trueNs.
+func (c *Clock) advance(trueNs int64) {
+	dt := trueNs - c.lastTrueNs
+	if dt > 0 {
+		c.OffsetNs += float64(dt) * c.DriftPPM / 1e6
+		c.lastTrueNs = trueNs
+	}
+}
+
+// Read returns the local timestamp for true time trueNs.
+func (c *Clock) Read(trueNs int64) int64 {
+	c.advance(trueNs)
+	noise := 0.0
+	if c.JitterNs > 0 {
+		noise = c.rng.NormFloat64() * c.JitterNs
+	}
+	return trueNs + int64(math.Round(c.OffsetNs+noise))
+}
+
+// Steer applies a correction (PTP servo step) toward zero offset: the
+// residual after steering is bounded by residualNs in magnitude.
+func (c *Clock) Steer(trueNs int64, residualNs float64) {
+	c.advance(trueNs)
+	if math.Abs(c.OffsetNs) > residualNs {
+		if c.OffsetNs > 0 {
+			c.OffsetNs = residualNs
+		} else {
+			c.OffsetNs = -residualNs
+		}
+	}
+}
+
+// PTPConfig describes the synchronization deployment.
+type PTPConfig struct {
+	// SyncIntervalNs is the time between servo corrections.
+	SyncIntervalNs int64
+	// ResidualNs is the bound on the offset right after a correction —
+	// nanosecond-class for the PTP deployments of §6.1.
+	ResidualNs float64
+}
+
+// DefaultPTP is a data-center PTP profile: 125 ms sync interval, ≤ 100 ns
+// residual.
+func DefaultPTP() PTPConfig {
+	return PTPConfig{SyncIntervalNs: 125_000_000, ResidualNs: 100}
+}
+
+// WorstCaseErrorNs bounds the offset between two PTP corrections: the
+// residual plus drift accrued over one interval.
+func (p PTPConfig) WorstCaseErrorNs(driftPPM float64) float64 {
+	return p.ResidualNs + math.Abs(driftPPM)/1e6*float64(p.SyncIntervalNs)
+}
+
+// MaxWindowSkew converts a worst-case clock error into the number of
+// measurement windows two observations of the same instant can disagree by.
+// §6.1 requires this to stay ≤ 2 for nanosecond-level sync.
+func MaxWindowSkew(errNs float64, windowNs int64) int {
+	if windowNs <= 0 {
+		return 0
+	}
+	return int(math.Ceil(errNs/float64(windowNs))) + 1
+}
+
+// AlignWindow maps a remote local timestamp to an absolute window id given
+// the analyzer's estimate of that node's offset.
+func AlignWindow(localNs int64, offsetEstimateNs int64, windowShift uint) int64 {
+	return (localNs - offsetEstimateNs) >> windowShift
+}

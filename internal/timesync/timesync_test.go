@@ -1,0 +1,103 @@
+package timesync
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClockDriftAccrues(t *testing.T) {
+	c := NewClock(0, 10, 0, 1) // +10 ppm
+	// After 1 ms of true time, offset ≈ 10 ns.
+	got := c.Read(1_000_000)
+	if got-1_000_000 != 10 {
+		t.Errorf("drifted reading = %d, want true+10", got)
+	}
+}
+
+func TestClockSteerBoundsOffset(t *testing.T) {
+	c := NewClock(5000, 50, 0, 1)
+	c.Steer(0, 100)
+	if math.Abs(c.OffsetNs) > 100 {
+		t.Errorf("offset after steer = %v, want ≤ 100", c.OffsetNs)
+	}
+	c2 := NewClock(-5000, 0, 0, 1)
+	c2.Steer(0, 100)
+	if c2.OffsetNs != -100 {
+		t.Errorf("negative offset steered to %v, want -100", c2.OffsetNs)
+	}
+	c3 := NewClock(50, 0, 0, 1)
+	c3.Steer(0, 100)
+	if c3.OffsetNs != 50 {
+		t.Errorf("within-residual offset changed: %v", c3.OffsetNs)
+	}
+}
+
+func TestPTPKeepsSkewWithinTwoWindows(t *testing.T) {
+	// §6.1: nanosecond-level sync errors "do not extend beyond two
+	// microsecond-level windows".
+	p := DefaultPTP()
+	err := p.WorstCaseErrorNs(10) // 10 ppm oscillator
+	skew := MaxWindowSkew(err, 8192)
+	if skew > 2 {
+		t.Errorf("window skew = %d, want ≤ 2 (worst error %v ns)", skew, err)
+	}
+}
+
+func TestNTPViolatesWindowBound(t *testing.T) {
+	// NTP's millisecond errors blow past the two-window bound — the
+	// paper's argument for requiring PTP.
+	ntp := PTPConfig{SyncIntervalNs: 1_000_000_000, ResidualNs: 2_000_000}
+	skew := MaxWindowSkew(ntp.WorstCaseErrorNs(10), 8192)
+	if skew <= 2 {
+		t.Errorf("NTP-class sync skew = %d, expected > 2 windows", skew)
+	}
+}
+
+func TestSteeredClockLongRun(t *testing.T) {
+	// Simulate 1 s of a steered clock and verify the offset never exceeds
+	// the analytic worst case.
+	p := DefaultPTP()
+	drift := 20.0
+	c := NewClock(0, drift, 0, 7)
+	bound := p.WorstCaseErrorNs(drift)
+	for now := int64(0); now <= 1_000_000_000; now += p.SyncIntervalNs {
+		local := c.Read(now)
+		if e := math.Abs(float64(local - now)); e > bound+1 {
+			t.Fatalf("offset %v ns at t=%d exceeds bound %v", e, now, bound)
+		}
+		c.Steer(now, p.ResidualNs)
+	}
+}
+
+func TestAlignWindow(t *testing.T) {
+	// A local stamp 8192·5+100 with offset estimate 100 lands in window 5.
+	if got := AlignWindow(8192*5+100, 100, 13); got != 5 {
+		t.Errorf("aligned window = %d, want 5", got)
+	}
+}
+
+func TestMaxWindowSkewEdge(t *testing.T) {
+	if got := MaxWindowSkew(100, 0); got != 0 {
+		t.Errorf("zero window skew = %d, want 0", got)
+	}
+	if got := MaxWindowSkew(0, 8192); got != 1 {
+		t.Errorf("zero error skew = %d, want 1 (adjacent-window ambiguity)", got)
+	}
+}
+
+func TestJitterIsBoundedStatistically(t *testing.T) {
+	c := NewClock(0, 0, 50, 3)
+	var worst float64
+	for i := int64(0); i < 1000; i++ {
+		e := math.Abs(float64(c.Read(i*1000) - i*1000))
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst > 50*6 {
+		t.Errorf("jitter tail %v ns implausible for σ=50", worst)
+	}
+	if worst == 0 {
+		t.Error("jitter never materialized")
+	}
+}

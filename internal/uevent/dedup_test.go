@@ -1,0 +1,110 @@
+package uevent
+
+import (
+	"testing"
+
+	"umon/internal/flowkey"
+	"umon/internal/netsim"
+)
+
+func TestDeduplicatorSuppressesRepeats(t *testing.T) {
+	d := NewDeduplicator(256, 1_000_000)
+	f := flowkey.Key{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4791, Proto: 17}
+	if !d.Admit(f, 100, 0) {
+		t.Fatal("first observation must be admitted")
+	}
+	// The same packet seen at three downstream hops.
+	for hop := 0; hop < 3; hop++ {
+		if d.Admit(f, 100, int64(hop+1)*2000) {
+			t.Fatal("downstream repeat must be suppressed")
+		}
+	}
+	// A different PSN is new.
+	if !d.Admit(f, 101, 10_000) {
+		t.Error("new PSN must be admitted")
+	}
+	// After the TTL, the same (flow, PSN) is admitted again.
+	if !d.Admit(f, 100, 5_000_000) {
+		t.Error("expired entry must be admitted")
+	}
+	adm, dup := d.Stats()
+	if adm != 3 || dup != 3 {
+		t.Errorf("stats = %d/%d, want 3/3", adm, dup)
+	}
+}
+
+func TestDedupStream(t *testing.T) {
+	f := flowkey.Key{SrcIP: 9, DstIP: 8, SrcPort: 7, DstPort: 4791, Proto: 17}
+	var ms []MirrorRecord
+	// Each packet observed at 3 switches (multi-hop duplicates).
+	for psn := uint32(0); psn < 10; psn++ {
+		for sw := int16(0); sw < 3; sw++ {
+			ms = append(ms, MirrorRecord{
+				Port: netsim.PortID{Switch: sw}, TimestampNs: int64(psn)*10_000 + int64(sw)*1000,
+				PSN: psn, Flow: f, OrigBytes: 1058, WireBytes: 1058,
+			})
+		}
+	}
+	got := Dedup(ms, 1024, 1_000_000)
+	if len(got) != 10 {
+		t.Errorf("deduped = %d, want 10", len(got))
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	f := flowkey.Key{SrcIP: 0x0a000101, DstIP: 0x0a000201, SrcPort: 9, DstPort: 4791, Proto: 17}
+	var ms []MirrorRecord
+	for i := 0; i < 120; i++ {
+		ms = append(ms, MirrorRecord{
+			Port:        netsim.PortID{Switch: int16(i % 2), Port: int16(i % 4)},
+			TimestampNs: int64(i) * 5000,
+			PSN:         uint32(i),
+			Flow:        f,
+			OrigBytes:   1058,
+		})
+	}
+	batches, bytes := Batch(ms, 55)
+	if len(batches) < 3 {
+		t.Fatalf("batches = %d, want ≥ 3 (two switches, 55-entry cap)", len(batches))
+	}
+	var total int64
+	var entries int
+	for _, b := range batches {
+		total += b.WireBytes()
+		entries += len(b.Entries)
+		dec, err := DecodeBatch(b.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec.Entries) != len(b.Entries) || dec.Switch != b.Switch {
+			t.Fatal("batch round trip mismatch")
+		}
+		for i := range b.Entries {
+			e, g := b.Entries[i], dec.Entries[i]
+			if e.Flow != g.Flow || e.PSN != g.PSN || e.TimestampNs != g.TimestampNs || e.Port != g.Port {
+				t.Fatalf("entry %d mismatch: %+v vs %+v", i, e, g)
+			}
+		}
+	}
+	if total != bytes {
+		t.Errorf("reported bytes %d != summed %d", bytes, total)
+	}
+	if entries != 120 {
+		t.Errorf("entries = %d, want 120", entries)
+	}
+	// The batch form must be far cheaper than full-packet mirroring.
+	if full := int64(120 * 1058); bytes > full/10 {
+		t.Errorf("batching saves too little: %d vs %d", bytes, full)
+	}
+}
+
+func TestDecodeBatchRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBatch([]byte{1}); err == nil {
+		t.Error("short batch must fail")
+	}
+	b := BatchReport{Switch: 1, Entries: make([]MirrorRecord, 2)}
+	enc := b.Encode()
+	if _, err := DecodeBatch(enc[:len(enc)-3]); err == nil {
+		t.Error("truncated batch must fail")
+	}
+}

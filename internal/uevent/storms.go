@@ -1,0 +1,105 @@
+package uevent
+
+import (
+	"sort"
+
+	"umon/internal/netsim"
+)
+
+// PauseStorm is a cluster of PFC pause assertions at one switch — the
+// "PFC storm" µEvent of §5. A storm starts with a pause assertion and ends
+// when the switch stays pause-free for the clustering gap.
+type PauseStorm struct {
+	Switch  int16
+	StartNs int64
+	EndNs   int64
+	Pauses  int
+}
+
+// DurationNs returns the storm's span.
+func (s *PauseStorm) DurationNs() int64 { return s.EndNs - s.StartNs }
+
+// PauseStorms clusters a simulation's PFC log into storms per switch.
+// Records closer than gapNs belong to the same storm (default 100 µs).
+func PauseStorms(log []netsim.PFCRecord, gapNs int64) []PauseStorm {
+	if gapNs <= 0 {
+		gapNs = 100_000
+	}
+	perSwitch := make(map[int16][]netsim.PFCRecord)
+	for _, r := range log {
+		perSwitch[r.Switch] = append(perSwitch[r.Switch], r)
+	}
+	var storms []PauseStorm
+	for sw, rs := range perSwitch {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Ns < rs[j].Ns })
+		var cur *PauseStorm
+		for _, r := range rs {
+			if cur != nil && r.Ns-cur.EndNs > gapNs {
+				storms = append(storms, *cur)
+				cur = nil
+			}
+			if cur == nil {
+				if !r.Pause {
+					continue // a stray resume does not open a storm
+				}
+				cur = &PauseStorm{Switch: sw, StartNs: r.Ns, EndNs: r.Ns}
+			}
+			cur.EndNs = r.Ns
+			if r.Pause {
+				cur.Pauses++
+			}
+		}
+		if cur != nil {
+			storms = append(storms, *cur)
+		}
+	}
+	sort.Slice(storms, func(i, j int) bool {
+		if storms[i].StartNs != storms[j].StartNs {
+			return storms[i].StartNs < storms[j].StartNs
+		}
+		return storms[i].Switch < storms[j].Switch
+	})
+	return storms
+}
+
+// LossForensics grades §5's packet-loss story: "CE packets are generated
+// prior to the tail drop", so a drop should be *attributable* — preceded on
+// the same port by at least one captured (sampled) CE mirror within the
+// lookback window.
+type LossForensics struct {
+	Drops      int
+	Attributed int
+}
+
+// Ratio is the attributed fraction (1 when there are no drops).
+func (l LossForensics) Ratio() float64 {
+	if l.Drops == 0 {
+		return 1
+	}
+	return float64(l.Attributed) / float64(l.Drops)
+}
+
+// AttributeDrops checks each dropped packet against the mirror stream.
+func AttributeDrops(drops []netsim.DropRecord, mirrors []MirrorRecord, lookbackNs int64) LossForensics {
+	if lookbackNs <= 0 {
+		lookbackNs = 200_000
+	}
+	perPort := make(map[netsim.PortID][]int64)
+	for _, m := range mirrors {
+		perPort[m.Port] = append(perPort[m.Port], m.TimestampNs)
+	}
+	for _, ts := range perPort {
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	}
+	var out LossForensics
+	for _, d := range drops {
+		out.Drops++
+		ts := perPort[netsim.PortID{Switch: d.Switch, Port: d.Port}]
+		// Any mirror in [d.Ns - lookback, d.Ns]?
+		i := sort.Search(len(ts), func(i int) bool { return ts[i] >= d.Ns-lookbackNs })
+		if i < len(ts) && ts[i] <= d.Ns {
+			out.Attributed++
+		}
+	}
+	return out
+}

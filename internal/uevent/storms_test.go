@@ -1,0 +1,89 @@
+package uevent
+
+import (
+	"testing"
+
+	"umon/internal/netsim"
+)
+
+func pfcRec(ns int64, sw int16, pause bool) netsim.PFCRecord {
+	return netsim.PFCRecord{Ns: ns, Switch: sw, Pause: pause}
+}
+
+func TestPauseStormsClustering(t *testing.T) {
+	log := []netsim.PFCRecord{
+		// Storm 1 on switch 0: three pause/resume cycles within 100 µs.
+		pfcRec(1000, 0, true), pfcRec(20_000, 0, false),
+		pfcRec(40_000, 0, true), pfcRec(60_000, 0, false),
+		pfcRec(80_000, 0, true), pfcRec(95_000, 0, false),
+		// Storm 2 on switch 0: 1 ms later.
+		pfcRec(1_200_000, 0, true), pfcRec(1_220_000, 0, false),
+		// Switch 3: a stray resume (no storm), then a storm.
+		pfcRec(500, 3, false),
+		pfcRec(900_000, 3, true),
+	}
+	storms := PauseStorms(log, 100_000)
+	if len(storms) != 3 {
+		t.Fatalf("storms = %d, want 3: %+v", len(storms), storms)
+	}
+	if storms[0].Switch != 0 || storms[0].Pauses != 3 || storms[0].DurationNs() != 94_000 {
+		t.Errorf("first storm = %+v", storms[0])
+	}
+	if storms[1].StartNs != 900_000 || storms[1].Switch != 3 {
+		t.Errorf("second storm = %+v", storms[1])
+	}
+	if storms[2].StartNs != 1_200_000 {
+		t.Errorf("third storm = %+v", storms[2])
+	}
+}
+
+func TestPauseStormsEmpty(t *testing.T) {
+	if got := PauseStorms(nil, 0); len(got) != 0 {
+		t.Errorf("empty log storms = %v", got)
+	}
+}
+
+func TestAttributeDrops(t *testing.T) {
+	drops := []netsim.DropRecord{
+		{Ns: 100_000, Switch: 1, Port: 2},
+		{Ns: 900_000, Switch: 1, Port: 2}, // no mirror near
+		{Ns: 150_000, Switch: 5, Port: 0}, // wrong port mirror only
+	}
+	mirrors := []MirrorRecord{
+		{Port: netsim.PortID{Switch: 1, Port: 2}, TimestampNs: 60_000},
+		{Port: netsim.PortID{Switch: 9, Port: 9}, TimestampNs: 149_000},
+	}
+	lf := AttributeDrops(drops, mirrors, 50_000)
+	if lf.Drops != 3 || lf.Attributed != 1 {
+		t.Errorf("forensics = %+v, want 3 drops / 1 attributed", lf)
+	}
+	if got := lf.Ratio(); got < 0.33 || got > 0.34 {
+		t.Errorf("ratio = %v", got)
+	}
+	if (LossForensics{}).Ratio() != 1 {
+		t.Error("no-drop ratio should be 1")
+	}
+}
+
+// TestLossAttributionEndToEnd verifies §5's claim on a real overload: most
+// tail drops are preceded by CE marks on the same port, so even sampled
+// mirroring attributes them.
+func TestLossAttributionEndToEnd(t *testing.T) {
+	topo, _ := netsim.Dumbbell(4)
+	cfg := netsim.DefaultConfig(topo)
+	cfg.BufferBytes = 300 << 10
+	cfg.DCQCN.G = 0 // keep pushing
+	n, _ := netsim.New(cfg)
+	for s := 0; s < 4; s++ {
+		n.AddFlow(netsim.FlowSpec{Src: s, Dst: 4, Bytes: 20_000_000, StartNs: 0, FixedRateBps: 90e9})
+	}
+	tr := n.Run(3_000_000)
+	if len(tr.DropLog) == 0 {
+		t.Skip("no drops to attribute")
+	}
+	mirrors := Capture(tr.CELog, ACLRule{SampleBits: 4}, 0)
+	lf := AttributeDrops(tr.DropLog, mirrors, 200_000)
+	if lf.Ratio() < 0.95 {
+		t.Errorf("only %.1f%% of drops attributed; CE-before-drop should cover nearly all", 100*lf.Ratio())
+	}
+}

@@ -1,0 +1,35 @@
+package wavelet
+
+// Reconstruct rebuilds a rate curve from deepest-level approximation sums
+// and a sparse set of retained detail coefficients (Algorithm 2, performed on
+// the analyzer). Missing detail coefficients are treated as zero. The result
+// is truncated to `length` samples; if length ≤ 0 the full padded
+// reconstruction is returned.
+func Reconstruct(approx []int64, kept []DetailRef, levels, length int) []float64 {
+	if len(approx) == 0 {
+		if length <= 0 {
+			return nil
+		}
+		return make([]float64, length)
+	}
+	c := &Coeffs{Levels: levels, Approx: approx, Details: make([][]int64, levels)}
+	// Size each level to cover the approximation span.
+	n := len(approx) << levels
+	for l := 0; l < levels; l++ {
+		c.Details[l] = make([]int64, n>>(l+1))
+	}
+	for _, r := range kept {
+		if r.Level >= 0 && r.Level < levels && r.Index >= 0 && r.Index < len(c.Details[r.Level]) {
+			c.Details[r.Level][r.Index] = r.Val
+		}
+	}
+	rec := Inverse(c)
+	if length > 0 {
+		if len(rec) > length {
+			rec = rec[:length]
+		} else if len(rec) < length {
+			rec = append(rec, make([]float64, length-len(rec))...)
+		}
+	}
+	return rec
+}

@@ -1,0 +1,288 @@
+package wavelet
+
+import (
+	"container/heap"
+	"math"
+)
+
+// pendingDetail is the per-level partially-accumulated detail coefficient
+// (the `_details` array of Algorithm 1).
+type pendingDetail struct {
+	Index int
+	Val   int64
+}
+
+// CoeffSink receives finished detail coefficients from a Stream. A sink
+// decides which coefficients to retain (the compression stage). Zero-valued
+// coefficients are not emitted.
+type CoeffSink interface {
+	Offer(level, index int, val int64)
+}
+
+// Stream performs the online wavelet transform of Algorithm 1: window
+// counters are pushed one at a time (in order of window offset) and detail
+// coefficients are emitted to a CoeffSink as soon as they are complete.
+// Approximation coefficients at the deepest level are accumulated directly.
+//
+// The zero value is not usable; construct with NewStream.
+type Stream struct {
+	levels  int
+	approx  []int64
+	pending []pendingDetail
+	maxOff  int  // largest window offset seen so far
+	started bool // true once the first counter has been pushed
+}
+
+// NewStream returns a streaming transformer decomposing over `levels`
+// levels. approxHint pre-sizes the approximation slice (n/2^levels entries
+// for an expected sequence length n); it may be 0.
+func NewStream(levels, approxHint int) *Stream {
+	s := &Stream{
+		levels:  levels,
+		pending: make([]pendingDetail, levels),
+		approx:  make([]int64, 0, approxHint),
+	}
+	return s
+}
+
+// Levels reports the decomposition depth L.
+func (s *Stream) Levels() int { return s.levels }
+
+// MaxOffset reports the largest window offset pushed so far (-1 if none).
+func (s *Stream) MaxOffset() int {
+	if !s.started {
+		return -1
+	}
+	return s.maxOff
+}
+
+// Approx exposes the accumulated deepest-level approximation coefficients.
+// The caller must not mutate the returned slice.
+func (s *Stream) Approx() []int64 { return s.approx }
+
+// Push transforms one finished window counter c at window offset i
+// (Algorithm 1's Transformation procedure). Offsets must be pushed in
+// strictly increasing order; gaps are fine (missing windows count zero).
+func (s *Stream) Push(i int, c int64, sink CoeffSink) {
+	if s.started && i <= s.maxOff {
+		// Out-of-order push: fold into the approximation only. This cannot
+		// happen from WaveSketch's Counting stage (which always moves
+		// forward) but keeps the component safe in isolation.
+		pos := i >> s.levels
+		if pos < len(s.approx) {
+			s.approx[pos] += c
+		}
+		return
+	}
+	s.started = true
+	s.maxOff = i
+
+	// Deepest-level approximation: window i contributes to sum i>>L.
+	posA := i >> s.levels
+	for len(s.approx) <= posA {
+		s.approx = append(s.approx, 0)
+	}
+	s.approx[posA] += c
+
+	// Each level's latest detail: flush it when the window has moved past
+	// the coefficient's span, then accumulate with the Haar sign.
+	for l := 0; l < s.levels; l++ {
+		posD := i >> (l + 1)
+		if posD > s.pending[l].Index {
+			s.flushLevel(l, sink)
+			s.pending[l] = pendingDetail{Index: posD}
+		}
+		if (i>>l)&1 == 0 {
+			s.pending[l].Val += c
+		} else {
+			s.pending[l].Val -= c
+		}
+	}
+}
+
+func (s *Stream) flushLevel(l int, sink CoeffSink) {
+	if s.pending[l].Val != 0 && sink != nil {
+		sink.Offer(l, s.pending[l].Index, s.pending[l].Val)
+	}
+}
+
+// Finish flushes every pending detail coefficient (Algorithm 2's pre-steps:
+// the caller must first Push the final counter; padding with zero counters is
+// implicit because zero contributions leave coefficients unchanged) and
+// returns the padded sequence length.
+func (s *Stream) Finish(sink CoeffSink) int {
+	if !s.started {
+		return 0
+	}
+	for l := 0; l < s.levels; l++ {
+		s.flushLevel(l, sink)
+		s.pending[l].Val = 0
+	}
+	return padLen(s.maxOff+1, s.levels)
+}
+
+// Reset returns the stream to its initial state, keeping allocations.
+func (s *Stream) Reset() {
+	s.approx = s.approx[:0]
+	for l := range s.pending {
+		s.pending[l] = pendingDetail{}
+	}
+	s.maxOff = 0
+	s.started = false
+}
+
+// TopKSink retains the K detail coefficients with the largest weighted
+// absolute value seen so far, using a min-heap keyed by WeightedAbs — the
+// ideal (CPU) compression stage of WaveSketch.
+type TopKSink struct {
+	K    int
+	heap detailHeap
+}
+
+// NewTopKSink returns a sink retaining at most k coefficients.
+func NewTopKSink(k int) *TopKSink {
+	return &TopKSink{K: k, heap: detailHeap{refs: make([]DetailRef, 0, k)}}
+}
+
+// Offer implements CoeffSink.
+func (t *TopKSink) Offer(level, index int, val int64) {
+	if t.K <= 0 || val == 0 {
+		return
+	}
+	r := DetailRef{Level: level, Index: index, Val: val}
+	if t.heap.Len() < t.K {
+		heap.Push(&t.heap, r)
+		return
+	}
+	if r.WeightedAbs() > t.heap.refs[0].WeightedAbs() {
+		t.heap.refs[0] = r
+		heap.Fix(&t.heap, 0)
+	}
+}
+
+// Kept returns the retained coefficients in no particular order.
+func (t *TopKSink) Kept() []DetailRef {
+	return append([]DetailRef(nil), t.heap.refs...)
+}
+
+// Len reports how many coefficients are currently retained.
+func (t *TopKSink) Len() int { return t.heap.Len() }
+
+// MinWeighted reports the smallest weighted magnitude currently retained,
+// or 0 if empty. Threshold calibration for the hardware version samples it.
+func (t *TopKSink) MinWeighted() float64 {
+	if t.heap.Len() == 0 {
+		return 0
+	}
+	return t.heap.refs[0].WeightedAbs()
+}
+
+// Reset empties the sink, keeping allocations.
+func (t *TopKSink) Reset() { t.heap.refs = t.heap.refs[:0] }
+
+type detailHeap struct{ refs []DetailRef }
+
+func (h *detailHeap) Len() int { return len(h.refs) }
+func (h *detailHeap) Less(i, j int) bool {
+	return h.refs[i].WeightedAbs() < h.refs[j].WeightedAbs()
+}
+func (h *detailHeap) Swap(i, j int) { h.refs[i], h.refs[j] = h.refs[j], h.refs[i] }
+func (h *detailHeap) Push(x any)    { h.refs = append(h.refs, x.(DetailRef)) }
+func (h *detailHeap) Pop() any {
+	r := h.refs[len(h.refs)-1]
+	h.refs = h.refs[:len(h.refs)-1]
+	return r
+}
+
+// CollectSink retains every coefficient (lossless); it is used by tests to
+// compare the streaming transform against the offline Forward.
+type CollectSink struct{ Refs []DetailRef }
+
+// Offer implements CoeffSink.
+func (c *CollectSink) Offer(level, index int, val int64) {
+	c.Refs = append(c.Refs, DetailRef{Level: level, Index: index, Val: val})
+}
+
+// ThresholdSink approximates top-k selection the way the hardware pipeline
+// does (§4.3): coefficients are split by level parity, weighted by a right
+// shift of ⌊l/2⌋ bits within their parity class, compared against a
+// calibrated per-parity threshold, and stored in two bounded queues (odd and
+// even levels) that evict their minimum when full.
+type ThresholdSink struct {
+	// Thresholds on the *shifted* absolute value, per parity (index 0 =
+	// even levels, 1 = odd levels).
+	Threshold [2]int64
+	// Capacity per parity queue (the paper splits K across two queues).
+	Cap int
+
+	queues [2][]DetailRef
+}
+
+// NewThresholdSink builds a hardware-style sink with per-parity capacity
+// k/2 (minimum 1) and the given shifted-value thresholds.
+func NewThresholdSink(k int, thrEven, thrOdd int64) *ThresholdSink {
+	c := k / 2
+	if c < 1 {
+		c = 1
+	}
+	return &ThresholdSink{Threshold: [2]int64{thrEven, thrOdd}, Cap: c}
+}
+
+// shiftedAbs is the hardware comparison key: |val| >> ⌊level/2⌋. Within one
+// parity class, consecutive levels differ by exactly one doubling, so the
+// shift reproduces the relative weighting without any √2 arithmetic.
+func shiftedAbs(level int, val int64) int64 {
+	a := val
+	if a < 0 {
+		a = -a
+	}
+	return a >> uint(level/2)
+}
+
+// Offer implements CoeffSink with branch-and-threshold selection: while a
+// parity queue has free slots every coefficient is accepted (an empty
+// register slot costs nothing to fill); once full, the pre-set threshold is
+// the cheap drop filter that spares the pipeline the min-scan, and only
+// above-threshold newcomers evict the current minimum.
+func (t *ThresholdSink) Offer(level, index int, val int64) {
+	if val == 0 {
+		return
+	}
+	p := level & 1
+	sv := shiftedAbs(level, val)
+	q := t.queues[p]
+	if len(q) < t.Cap {
+		t.queues[p] = append(q, DetailRef{Level: level, Index: index, Val: val})
+		return
+	}
+	if sv < t.Threshold[p] {
+		return // filtered by the pre-set threshold
+	}
+	// Replace the minimum if the newcomer beats it.
+	minI, minV := 0, int64(math.MaxInt64)
+	for i, r := range q {
+		if s := shiftedAbs(r.Level, r.Val); s < minV {
+			minI, minV = i, s
+		}
+	}
+	if sv > minV {
+		q[minI] = DetailRef{Level: level, Index: index, Val: val}
+	}
+}
+
+// Kept returns all retained coefficients across both parity queues.
+func (t *ThresholdSink) Kept() []DetailRef {
+	out := make([]DetailRef, 0, len(t.queues[0])+len(t.queues[1]))
+	out = append(out, t.queues[0]...)
+	out = append(out, t.queues[1]...)
+	return out
+}
+
+// Len reports the number of retained coefficients.
+func (t *ThresholdSink) Len() int { return len(t.queues[0]) + len(t.queues[1]) }
+
+// Reset empties both queues, keeping allocations.
+func (t *ThresholdSink) Reset() {
+	t.queues[0] = t.queues[0][:0]
+	t.queues[1] = t.queues[1][:0]
+}

@@ -1,0 +1,291 @@
+// Package wavelet implements the integer Haar wavelet variant used by
+// WaveSketch (µMon, SIGCOMM 2024, §4).
+//
+// The classic discrete Haar transform computes, for every pair of adjacent
+// samples, a normalized average and difference (both scaled by 1/√2). The
+// paper's variant drops the 1/√2 energy-conservation factor so that every
+// operation stays in integers:
+//
+//	approximation a = left + right   (a plain sum)
+//	detail        d = left - right
+//
+// The deepest-level approximations are therefore exact sub-range totals of
+// the signal, and the transform remains perfectly reversible:
+//
+//	left  = (a + d) / 2
+//	right = (a - d) / 2
+//
+// The package provides the offline forward/inverse transforms (used by tests,
+// the analyzer and the baselines), the optimal top-k coefficient selection of
+// Appendix A, and the streaming one-counter-at-a-time transform of
+// Algorithm 1 that WaveSketch buckets embed.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Coeffs holds the output of a forward transform of a length-n signal
+// decomposed over L levels: n/2^L approximation coefficients (sub-range
+// sums) plus one detail slice per level. Details[l] has n/2^(l+1) entries;
+// level 0 is the shallowest (fastest-varying) level.
+type Coeffs struct {
+	Levels  int
+	Approx  []int64
+	Details [][]int64
+}
+
+// NumCoeffs reports the total number of coefficients, which always equals
+// the original signal length.
+func (c *Coeffs) NumCoeffs() int {
+	n := len(c.Approx)
+	for _, d := range c.Details {
+		n += len(d)
+	}
+	return n
+}
+
+// Weight returns the orthonormal magnitude weight of a detail coefficient at
+// the given (0-indexed) level: 2^(-(level+1)/2). Ranking |d|·Weight(level)
+// and keeping the largest minimizes the L2 reconstruction error (Appendix A).
+func Weight(level int) float64 {
+	return math.Pow(2, -float64(level+1)/2)
+}
+
+// padLen returns the smallest power of two ≥ n that is also ≥ 2^levels, so a
+// signal can always be decomposed over the requested number of levels.
+func padLen(n, levels int) int {
+	p := 1 << levels
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Forward decomposes signal over `levels` levels of the paper's Haar
+// variant. The signal is zero-padded on the right to a power of two (this is
+// exactly what Algorithm 2's padding step does). levels must be ≥ 1.
+func Forward(signal []int64, levels int) (*Coeffs, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("wavelet: levels must be ≥ 1, got %d", levels)
+	}
+	if len(signal) == 0 {
+		return &Coeffs{Levels: levels, Details: make([][]int64, levels)}, nil
+	}
+	n := padLen(len(signal), levels)
+	cur := make([]int64, n)
+	copy(cur, signal)
+
+	c := &Coeffs{Levels: levels, Details: make([][]int64, levels)}
+	for l := 0; l < levels; l++ {
+		half := len(cur) / 2
+		next := make([]int64, half)
+		det := make([]int64, half)
+		for i := 0; i < half; i++ {
+			next[i] = cur[2*i] + cur[2*i+1]
+			det[i] = cur[2*i] - cur[2*i+1]
+		}
+		c.Details[l] = det
+		cur = next
+	}
+	c.Approx = cur
+	return c, nil
+}
+
+// Inverse reconstructs the (padded) signal from coefficients. Division by 2
+// is done in float64 so that reconstructions from *compressed* coefficient
+// sets (where exactness is lost anyway) do not suffer integer truncation.
+func Inverse(c *Coeffs) []float64 {
+	cur := make([]float64, len(c.Approx))
+	for i, a := range c.Approx {
+		cur[i] = float64(a)
+	}
+	for l := c.Levels - 1; l >= 0; l-- {
+		det := c.Details[l]
+		next := make([]float64, 2*len(cur))
+		for i := range cur {
+			var d float64
+			if i < len(det) {
+				d = float64(det[i])
+			}
+			next[2*i] = (cur[i] + d) / 2
+			next[2*i+1] = (cur[i] - d) / 2
+		}
+		cur = next
+	}
+	return cur
+}
+
+// InverseInt reconstructs in exact integer arithmetic. It is only valid for
+// lossless coefficient sets (every (a,d) pair has matching parity); it is
+// used by tests to verify perfect reconstruction.
+func InverseInt(c *Coeffs) []int64 {
+	cur := make([]int64, len(c.Approx))
+	copy(cur, c.Approx)
+	for l := c.Levels - 1; l >= 0; l-- {
+		det := c.Details[l]
+		next := make([]int64, 2*len(cur))
+		for i := range cur {
+			var d int64
+			if i < len(det) {
+				d = det[i]
+			}
+			next[2*i] = (cur[i] + d) / 2
+			next[2*i+1] = (cur[i] - d) / 2
+		}
+		cur = next
+	}
+	return cur
+}
+
+// DetailRef identifies one detail coefficient.
+type DetailRef struct {
+	Level int   // 0-indexed level
+	Index int   // index within the level
+	Val   int64 // coefficient value
+}
+
+// WeightedAbs is the Appendix-A ranking key of the coefficient.
+func (d DetailRef) WeightedAbs() float64 {
+	return math.Abs(float64(d.Val)) * Weight(d.Level)
+}
+
+// TopK returns the k detail coefficients with the largest weighted absolute
+// value across all levels (ties broken toward shallower level, then lower
+// index, for determinism). Zero-valued coefficients are never selected.
+func TopK(c *Coeffs, k int) []DetailRef {
+	var all []DetailRef
+	for l, det := range c.Details {
+		for i, v := range det {
+			if v != 0 {
+				all = append(all, DetailRef{Level: l, Index: i, Val: v})
+			}
+		}
+	}
+	// Selection by partial sort: n is modest (≤ a few thousand per bucket),
+	// so a full sort is fine and keeps the code obvious.
+	sortDetailRefs(all)
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]DetailRef, k)
+	copy(out, all[:k])
+	return out
+}
+
+func sortDetailRefs(refs []DetailRef) {
+	// Descending by weighted |val|; deterministic tiebreak.
+	less := func(a, b DetailRef) bool {
+		wa, wb := a.WeightedAbs(), b.WeightedAbs()
+		if wa != wb {
+			return wa > wb
+		}
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		return a.Index < b.Index
+	}
+	// Insertion-free: use sort.Slice via a tiny local shim to avoid importing
+	// sort twice in callers.
+	quicksortRefs(refs, less)
+}
+
+func quicksortRefs(refs []DetailRef, less func(a, b DetailRef) bool) {
+	if len(refs) < 12 {
+		for i := 1; i < len(refs); i++ {
+			for j := i; j > 0 && less(refs[j], refs[j-1]); j-- {
+				refs[j], refs[j-1] = refs[j-1], refs[j]
+			}
+		}
+		return
+	}
+	p := refs[len(refs)/2]
+	lo, hi := 0, len(refs)-1
+	for lo <= hi {
+		for less(refs[lo], p) {
+			lo++
+		}
+		for less(p, refs[hi]) {
+			hi--
+		}
+		if lo <= hi {
+			refs[lo], refs[hi] = refs[hi], refs[lo]
+			lo++
+			hi--
+		}
+	}
+	quicksortRefs(refs[:hi+1], less)
+	quicksortRefs(refs[lo:], less)
+}
+
+// TopKUnweighted selects the k details with the largest *raw* absolute
+// value, ignoring the per-level weight. It exists for the ablation of the
+// Appendix-A selection rule: without the 2^(-(l+1)/2) weight, deep-level
+// coefficients (which are sums over many windows and therefore large) crowd
+// out the shallow ones that carry the fast rate changes.
+func TopKUnweighted(c *Coeffs, k int) []DetailRef {
+	var all []DetailRef
+	for l, det := range c.Details {
+		for i, v := range det {
+			if v != 0 {
+				all = append(all, DetailRef{Level: l, Index: i, Val: v})
+			}
+		}
+	}
+	less := func(a, b DetailRef) bool {
+		av, bv := a.Val, b.Val
+		if av < 0 {
+			av = -av
+		}
+		if bv < 0 {
+			bv = -bv
+		}
+		if av != bv {
+			return av > bv
+		}
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		return a.Index < b.Index
+	}
+	quicksortRefs(all, less)
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]DetailRef, k)
+	copy(out, all[:k])
+	return out
+}
+
+// Compress zeroes every detail coefficient not present in keep, returning a
+// new coefficient set. This models the paper's compression stage on an
+// offline transform.
+func Compress(c *Coeffs, keep []DetailRef) *Coeffs {
+	out := &Coeffs{Levels: c.Levels, Approx: append([]int64(nil), c.Approx...)}
+	out.Details = make([][]int64, len(c.Details))
+	for l := range c.Details {
+		out.Details[l] = make([]int64, len(c.Details[l]))
+	}
+	for _, r := range keep {
+		if r.Level < len(out.Details) && r.Index < len(out.Details[r.Level]) {
+			out.Details[r.Level][r.Index] = r.Val
+		}
+	}
+	return out
+}
+
+// ReconstructTopK is the composition Forward → TopK → Compress → Inverse,
+// truncated back to the original length. It is the reference ("ideal CPU")
+// compression pipeline used by tests and by threshold calibration.
+func ReconstructTopK(signal []int64, levels, k int) ([]float64, error) {
+	c, err := Forward(signal, levels)
+	if err != nil {
+		return nil, err
+	}
+	rec := Inverse(Compress(c, TopK(c, k)))
+	if len(rec) > len(signal) {
+		rec = rec[:len(signal)]
+	}
+	return rec, nil
+}

@@ -1,0 +1,158 @@
+// Package wavesketch implements WaveSketch, the measurement algorithm at
+// the heart of µMon (§4): a Count-Min-style sketch whose buckets compress a
+// microsecond-level window-counter series online with the integer Haar
+// wavelet transform, keeping all deepest-level approximation sums and only
+// the weighted top-K detail coefficients.
+package wavesketch
+
+import (
+	"umon/internal/wavelet"
+)
+
+// coeffSink generalizes over the ideal (top-K heap) and hardware
+// (parity-threshold) compression stages.
+type coeffSink interface {
+	wavelet.CoeffSink
+	Kept() []wavelet.DetailRef
+	Len() int
+	Reset()
+}
+
+// Bucket is one counter bucket of WaveSketch (Figure 6): an initial window
+// id w0, the in-flight window (offset i, count c), the streaming transform
+// state and the retained coefficient sets A and D.
+type Bucket struct {
+	w0     int64 // absolute window id of the first packet; -1 while empty
+	i      int   // current window offset relative to w0
+	c      int64 // current window byte/packet count
+	stream *wavelet.Stream
+	sink   coeffSink
+	sealed bool
+}
+
+// NewBucket builds a bucket decomposing over `levels` levels with the given
+// compression sink.
+func NewBucket(levels int, sink coeffSink) *Bucket {
+	return &Bucket{w0: -1, stream: wavelet.NewStream(levels, 8), sink: sink}
+}
+
+// Empty reports whether the bucket has seen no packets.
+func (b *Bucket) Empty() bool { return b.w0 < 0 }
+
+// W0 returns the absolute window id of the bucket's first packet (-1 if
+// empty).
+func (b *Bucket) W0() int64 { return b.w0 }
+
+// Update implements the Counting stage of Algorithm 1: accumulate v into
+// the current window, or flush the finished counter into the transform and
+// open a new window.
+func (b *Bucket) Update(w int64, v int64) {
+	if b.sealed {
+		return
+	}
+	if b.w0 < 0 {
+		b.w0 = w
+		b.i = 0
+		b.c = v
+		return
+	}
+	off := int(w - b.w0)
+	if off <= b.i {
+		// Same window — or a stale timestamp from a colliding flow; both
+		// fold into the open counter so no bytes are lost.
+		b.c += v
+		return
+	}
+	b.stream.Push(b.i, b.c, b.sink)
+	b.i, b.c = off, v
+}
+
+// Seal flushes the last open counter and every pending detail coefficient.
+// It is idempotent; a sealed bucket ignores further updates.
+func (b *Bucket) Seal() {
+	if b.sealed {
+		return
+	}
+	b.sealed = true
+	if b.w0 < 0 {
+		return
+	}
+	b.stream.Push(b.i, b.c, b.sink)
+	b.c = 0
+	b.stream.Finish(b.sink)
+}
+
+// Len reports the number of windows covered (max offset + 1), 0 if empty.
+func (b *Bucket) Len() int {
+	if b.w0 < 0 {
+		return 0
+	}
+	return b.i + 1
+}
+
+// Approx exposes the retained approximation coefficients (set A).
+func (b *Bucket) Approx() []int64 { return b.stream.Approx() }
+
+// Details exposes the retained detail coefficients (set D).
+func (b *Bucket) Details() []wavelet.DetailRef { return b.sink.Kept() }
+
+// Reconstruct rebuilds the bucket's window series over [from, to) absolute
+// windows. The bucket must be sealed first. Windows outside the bucket's
+// own span are zero.
+func (b *Bucket) Reconstruct(from, to int64) []float64 {
+	if to < from {
+		to = from
+	}
+	out := make([]float64, to-from)
+	if b.w0 < 0 {
+		return out
+	}
+	curve := wavelet.Reconstruct(b.stream.Approx(), b.sink.Kept(), b.stream.Levels(), b.Len())
+	for w := from; w < to; w++ {
+		off := w - b.w0
+		if off >= 0 && off < int64(len(curve)) {
+			out[w-from] = curve[off]
+		}
+	}
+	return out
+}
+
+// Reset returns the bucket to its empty state, keeping allocations.
+func (b *Bucket) Reset() {
+	b.w0 = -1
+	b.i = 0
+	b.c = 0
+	b.sealed = false
+	b.stream.Reset()
+	b.sink.Reset()
+}
+
+// Wire-size constants for memory and report accounting. The paper's §4.2
+// compression-ratio analysis uses 4-byte counters and α≈1.5 metadata
+// overhead per retained detail coefficient (level + index).
+const (
+	counterBytes   = 4
+	coeffBytes     = 4
+	coeffMetaBytes = 2
+	headerBytes    = 4 + 2 + 4 // w0 + i + c
+)
+
+// StateBytes is the device memory held by the bucket: header, pending
+// per-level details, the approximation array and the K coefficient slots.
+func (b *Bucket) StateBytes(k int) int64 {
+	l := int64(b.stream.Levels())
+	return headerBytes +
+		l*(coeffBytes+coeffMetaBytes) + // _details temporaries
+		int64(len(b.stream.Approx()))*counterBytes +
+		int64(k)*(coeffBytes+coeffMetaBytes)
+}
+
+// ReportBytes is the upload size: w0, A and D (§4.2: O(n/2^L + K)).
+func (b *Bucket) ReportBytes() int64 {
+	if b.w0 < 0 {
+		return 0
+	}
+	return 4 + // w0
+		int64(len(b.stream.Approx()))*counterBytes +
+		int64(b.sink.Len())*(coeffBytes+coeffMetaBytes)
+}

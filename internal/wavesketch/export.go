@@ -1,0 +1,69 @@
+package wavesketch
+
+import (
+	"umon/internal/flowkey"
+	"umon/internal/wavelet"
+)
+
+// BucketExport is the uploadable content of one non-empty bucket: exactly
+// the (w0, A, D) triple of §4.2's bandwidth analysis plus its position in
+// the sketch so the analyzer can answer hashed queries.
+type BucketExport struct {
+	Row     int
+	Index   int
+	W0      int64
+	Len     int // windows covered
+	Approx  []int64
+	Details []wavelet.DetailRef
+}
+
+// Export enumerates the non-empty buckets of a sealed sketch for report
+// encoding. The slices alias internal state: encode before reusing the
+// sketch.
+func (s *Basic) Export() []BucketExport {
+	var out []BucketExport
+	for r := range s.rows {
+		for i, b := range s.rows[r] {
+			if b.Empty() {
+				continue
+			}
+			out = append(out, BucketExport{
+				Row: r, Index: i,
+				W0: b.W0(), Len: b.Len(),
+				Approx:  b.Approx(),
+				Details: b.Details(),
+			})
+		}
+	}
+	return out
+}
+
+// HeavyExport is one heavy-part entry of a full sketch.
+type HeavyExport struct {
+	Key     flowkey.Key
+	W0      int64
+	Len     int
+	Approx  []int64
+	Details []wavelet.DetailRef
+}
+
+// ExportHeavy enumerates the elected heavy flows of a sealed full sketch.
+func (f *Full) ExportHeavy() []HeavyExport {
+	var out []HeavyExport
+	for i := range f.heavy {
+		s := &f.heavy[i]
+		if !s.valid || s.bucket.Empty() {
+			continue
+		}
+		out = append(out, HeavyExport{
+			Key: s.key,
+			W0:  s.bucket.W0(), Len: s.bucket.Len(),
+			Approx:  s.bucket.Approx(),
+			Details: s.bucket.Details(),
+		})
+	}
+	return out
+}
+
+// Light exposes the light part of a full sketch (for report encoding).
+func (f *Full) Light() *Basic { return f.light }

@@ -1,0 +1,135 @@
+package wavesketch
+
+import "fmt"
+
+// HardwareModel is an analytical PISA (Tofino2) resource model of the
+// WaveSketch P4 program. The paper's Table 1 reports chip resource counts
+// for the full version (heavy h=256, light w=256, both L=8, K=64, D=1); we
+// cannot compile P4 in this repository, so the model reproduces that
+// accounting with formulas parameterized on the sketch configuration. The
+// per-unit coefficients are fitted so that the reference configuration
+// reproduces Table 1 exactly; the *scaling* behaviour encodes the paper's
+// qualitative claims:
+//
+//   - every bucket variable (w0, i, c, approx, one per detail level, the two
+//     parity coefficient queues) costs one stateful ALU per sketch part, so
+//     SALU grows with L and D but NOT with W or K (§7.1: "increasing the
+//     number of buckets (W) and retained coefficients (K) does not result in
+//     an increased SALU usage");
+//   - SRAM/MapRAM grow with the register bytes, i.e. with W, K and L;
+//   - VLIW instructions and gateways grow with the branching logic (L and
+//     the parity filters).
+type HardwareModel struct {
+	HeavyRows int // h (0 = basic version, no heavy part)
+	Width     int // W of the light part
+	Rows      int // D of the light part
+	Levels    int // L
+	K         int
+}
+
+// ModelFromFull builds the model for a full-version configuration.
+func ModelFromFull(cfg FullConfig) HardwareModel {
+	return HardwareModel{
+		HeavyRows: cfg.HeavyRows,
+		Width:     cfg.Light.Width,
+		Rows:      cfg.Light.Rows,
+		Levels:    cfg.Light.Levels,
+		K:         cfg.Light.K,
+	}
+}
+
+// ResourceUsage is one Table 1 row.
+type ResourceUsage struct {
+	Resource string
+	Used     int
+	Total    int
+}
+
+// Percent is the utilization percentage of the resource.
+func (r ResourceUsage) Percent() float64 { return 100 * float64(r.Used) / float64(r.Total) }
+
+func (r ResourceUsage) String() string {
+	return fmt.Sprintf("%-24s %6d  %6.2f%%", r.Resource, r.Used, r.Percent())
+}
+
+// Tofino2-class per-pipeline budgets implied by Table 1's percentages.
+const (
+	totXbar    = 2048
+	totHashBit = 6656
+	totGateway = 256
+	totSRAM    = 1300
+	totMapRAM  = 784
+	totVLIW    = 512
+	totSALU    = 64
+)
+
+// parts counts the independent sketch parts: the light part's D rows plus
+// one heavy part if present.
+func (m HardwareModel) parts() int {
+	p := m.Rows
+	if m.HeavyRows > 0 {
+		p++
+	}
+	return p
+}
+
+// salus returns the stateful-ALU count: per part, one SALU for each of w0,
+// i, c, the approximation array and each detail level, two for each parity
+// coefficient queue (value + index register pair); the heavy part adds key
+// and vote registers; a fixed overhead covers window-id extraction and
+// report control. Independent of Width and K.
+func (m HardwareModel) salus() int {
+	perPart := 3 + 1 + m.Levels + 4 // w0,i,c + approx + L details + 2 queues × (val,idx)
+	n := m.parts() * perPart
+	if m.HeavyRows > 0 {
+		n += 2 // heavy flow key + vote
+	}
+	n += 15 // window-id shift, threshold filters, report sequencing
+	return n
+}
+
+// registerBytes approximates the stateful storage in bytes.
+func (m HardwareModel) registerBytes() int {
+	perBucket := 10 + 6*m.Levels + 6*m.K // header + pending details + coefficient slots
+	n := m.Rows * m.Width * perBucket
+	if m.HeavyRows > 0 {
+		n += m.HeavyRows * (perBucket + 13 + 4)
+	}
+	return n
+}
+
+// Usage returns the Table 1 rows for this configuration.
+func (m HardwareModel) Usage() []ResourceUsage {
+	parts := m.parts()
+	regKB := (m.registerBytes() + 1023) / 1024
+
+	// SRAM blocks are 16 KB on Tofino-class chips; MapRAM shadows the
+	// stateful tables; linear terms fitted to the Table 1 reference row
+	// (h=256, w=256, L=8, K=64, D=1 → 2 parts, 414 KB of registers).
+	sram := 24 + 2*regKB/5 + 10*parts
+	mapram := 13 + 3*regKB/10 + 9*parts
+	xbar := 40 + 84*parts + 5*m.Levels
+	hashBit := 128 + 288*parts + 6*m.Levels
+	gateway := 3 + 5*parts + 2*m.Levels
+	vliw := 11 + 24*parts + 2*m.Levels
+
+	return []ResourceUsage{
+		{"Exact Match Input xbar", xbar, totXbar},
+		{"Hash Bit", hashBit, totHashBit},
+		{"Gateway", gateway, totGateway},
+		{"SRAM", sram, totSRAM},
+		{"Map RAM", mapram, totMapRAM},
+		{"VLIW Instr", vliw, totVLIW},
+		{"Stateful ALU", m.salus(), totSALU},
+	}
+}
+
+// Fits reports whether every resource stays within the chip budget.
+func (m HardwareModel) Fits() bool {
+	for _, u := range m.Usage() {
+		if u.Used > u.Total {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,16 @@
+package wavesketch
+
+import "umon/internal/wavelet"
+
+// Thin adapters giving the two wavelet sinks a common interface without
+// the wavelet package knowing about wavesketch.
+
+type topKSinkShim struct{ *wavelet.TopKSink }
+
+func newTopKSinkShim(k int) coeffSink { return topKSinkShim{wavelet.NewTopKSink(k)} }
+
+type thresholdSinkShim struct{ *wavelet.ThresholdSink }
+
+func newThresholdSinkShim(k int, thrEven, thrOdd int64) coeffSink {
+	return thresholdSinkShim{wavelet.NewThresholdSink(k, thrEven, thrOdd)}
+}

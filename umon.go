@@ -1,0 +1,285 @@
+// Package umon is the public facade of the µMon reproduction — a
+// microsecond-level network monitoring system built around WaveSketch, the
+// in-dataplane wavelet-compressed flow-rate sketch of "µMon: Empowering
+// Microsecond-level Network Monitoring with Wavelets" (SIGCOMM 2024).
+//
+// The facade re-exports the pieces a downstream user composes:
+//
+//   - WaveSketch (basic and full) and its Config — measure per-flow rate
+//     curves at 8.192 µs windows under a fixed memory budget.
+//   - HostMonitor / SwitchMonitor / System — a deployable µMon instance:
+//     periodic report uploads from hosts, CE match-sample-mirror at
+//     switches, one Analyzer consuming both.
+//   - Analyzer — congestion event detection, flow-rate queries and event
+//     replay.
+//   - The discrete-event data-center simulator used by the examples and
+//     the paper-reproduction benchmarks.
+//
+// See examples/quickstart for the five-minute tour and DESIGN.md for the
+// complete system inventory.
+package umon
+
+import (
+	"umon/internal/analyzer"
+	"umon/internal/core"
+	"umon/internal/flowkey"
+	"umon/internal/measure"
+	"umon/internal/netsim"
+	"umon/internal/report"
+	"umon/internal/uevent"
+	"umon/internal/wavelet"
+	"umon/internal/wavesketch"
+)
+
+// FlowKey is the canonical 5-tuple flow identifier.
+type FlowKey = flowkey.Key
+
+// Window conversion: WindowOf maps a nanosecond timestamp to the 8.192 µs
+// observation window; WindowNanos is one window's span.
+const WindowNanos = measure.WindowNanos
+
+// WindowOf maps a nanosecond timestamp to its absolute window id.
+func WindowOf(ns int64) int64 { return measure.WindowOf(ns) }
+
+// --- WaveSketch ---
+
+// SketchConfig parameterizes a WaveSketch (rows, width, wavelet levels,
+// retained coefficients).
+type SketchConfig = wavesketch.Config
+
+// FullSketchConfig parameterizes the heavy/light full version.
+type FullSketchConfig = wavesketch.FullConfig
+
+// WaveSketch is the basic-version sketch: a Count-Min array of wavelet
+// buckets.
+type WaveSketch = wavesketch.Basic
+
+// FullWaveSketch adds the majority-vote heavy part for per-flow curves of
+// heavy hitters.
+type FullWaveSketch = wavesketch.Full
+
+// NewWaveSketch builds a basic sketch.
+func NewWaveSketch(cfg SketchConfig) (*WaveSketch, error) { return wavesketch.NewBasic(cfg) }
+
+// NewFullWaveSketch builds a full sketch.
+func NewFullWaveSketch(cfg FullSketchConfig) (*FullWaveSketch, error) {
+	return wavesketch.NewFull(cfg)
+}
+
+// DefaultSketch returns the paper's evaluation configuration (D=3, W=256,
+// L=8) with the given coefficient budget K.
+func DefaultSketch(k int) SketchConfig { return wavesketch.Default(k) }
+
+// DefaultFullSketch returns the Table 1 full-version configuration.
+func DefaultFullSketch() FullSketchConfig { return wavesketch.DefaultFull() }
+
+// CalibrateHardware derives the PISA-variant thresholds from sample
+// counter sequences (§4.3).
+func CalibrateHardware(samples [][]int64, levels, k int) (thrEven, thrOdd int64) {
+	return wavesketch.Calibrate(samples, levels, k)
+}
+
+// Haar transform primitives, for users composing their own compression.
+type WaveletCoeffs = wavelet.Coeffs
+
+// DetailRef identifies one retained wavelet detail coefficient.
+type DetailRef = wavelet.DetailRef
+
+// WaveletForward decomposes a counter series (the paper's integer Haar
+// variant).
+func WaveletForward(signal []int64, levels int) (*WaveletCoeffs, error) {
+	return wavelet.Forward(signal, levels)
+}
+
+// WaveletReconstruct rebuilds a series from approximations and retained
+// details.
+func WaveletReconstruct(approx []int64, kept []DetailRef, levels, length int) []float64 {
+	return wavelet.Reconstruct(approx, kept, levels, length)
+}
+
+// --- µMon system ---
+
+// HostMonitor measures one host's egress and uploads periodic reports.
+type HostMonitor = core.HostMonitor
+
+// SwitchMonitor runs the CE match-sample-mirror pipeline of one switch.
+type SwitchMonitor = core.SwitchMonitor
+
+// System is a full µMon deployment over a simulated network.
+type System = core.System
+
+// SystemConfig parameterizes a deployment.
+type SystemConfig = core.SystemConfig
+
+// HostMonitorConfig parameterizes host-side measurement.
+type HostMonitorConfig = core.HostMonitorConfig
+
+// SwitchMonitorConfig parameterizes switch-side event capture.
+type SwitchMonitorConfig = core.SwitchMonitorConfig
+
+// NewHostMonitor builds a standalone host monitor.
+func NewHostMonitor(host int, cfg HostMonitorConfig, emit func(host int, encoded []byte)) (*HostMonitor, error) {
+	return core.NewHostMonitor(host, cfg, emit)
+}
+
+// NewSwitchMonitor builds a standalone switch monitor.
+func NewSwitchMonitor(sw int16, cfg SwitchMonitorConfig, emit func(encoded []byte)) *SwitchMonitor {
+	return core.NewSwitchMonitor(sw, cfg, emit)
+}
+
+// Deploy attaches a µMon instance to a simulated network.
+func Deploy(n *Network, topo *Topology, cfg SystemConfig) (*System, error) {
+	return core.Deploy(n, topo, cfg)
+}
+
+// DefaultSystem returns the evaluation deployment (1/64 event sampling).
+func DefaultSystem() SystemConfig { return core.DefaultSystem() }
+
+// DefaultHostMonitor returns the evaluation host configuration.
+func DefaultHostMonitor() HostMonitorConfig { return core.DefaultHostMonitor() }
+
+// --- analyzer ---
+
+// Analyzer performs network-wide synchronized analysis.
+type Analyzer = analyzer.Analyzer
+
+// Event is a detected congestion event.
+type Event = analyzer.Event
+
+// ReplayView is the rate-curve replay of an event's flows.
+type ReplayView = analyzer.ReplayView
+
+// NewAnalyzer returns an empty analyzer.
+func NewAnalyzer() *Analyzer { return analyzer.New() }
+
+// RateGbps converts per-window byte counts to Gbps.
+func RateGbps(bytesPerWindow float64) float64 { return analyzer.RateGbps(bytesPerWindow) }
+
+// HostReport is the wire format of a host's measurement upload.
+type HostReport = report.HostReport
+
+// DecodeReport parses an encoded host report.
+var DecodeReport = report.Decode
+
+// ACLRule is the switch sampling rule (match CE + PSN low bits).
+type ACLRule = uevent.ACLRule
+
+// --- simulator ---
+
+// Network is the discrete-event data-center simulator.
+type Network = netsim.Network
+
+// Topology is a host/switch graph with ECMP routing.
+type Topology = netsim.Topology
+
+// SimConfig parameterizes a simulation.
+type SimConfig = netsim.Config
+
+// FlowSpec describes one injected flow.
+type FlowSpec = netsim.FlowSpec
+
+// Congestion-control selectors for FlowSpec.CC.
+const (
+	// CCDCQCN is the rate-based RoCE controller of the evaluation.
+	CCDCQCN = netsim.CCDCQCN
+	// CCDCTCP is the window-based, ACK-clocked DCTCP controller
+	// (go-back-N reliable).
+	CCDCTCP = netsim.CCDCTCP
+)
+
+// Trace is a completed simulation's observables.
+type Trace = netsim.Trace
+
+// Packet is a simulated packet.
+type Packet = netsim.Packet
+
+// FatTree builds the k-ary fat-tree of the evaluation.
+func FatTree(k int) (*Topology, error) { return netsim.FatTree(k) }
+
+// Dumbbell builds a single-bottleneck topology.
+func Dumbbell(senders int) (*Topology, error) { return netsim.Dumbbell(senders) }
+
+// NewNetwork builds a simulation over a topology.
+func NewNetwork(cfg SimConfig) (*Network, error) { return netsim.New(cfg) }
+
+// DefaultSimConfig returns the paper's simulation parameters (100 Gbps,
+// 1 µs hops, DCQCN, RED KMin/KMax/PMax).
+func DefaultSimConfig(topo *Topology) SimConfig { return netsim.DefaultConfig(topo) }
+
+// --- extensions beyond the paper's evaluation ---
+
+// PFCConfig enables lossless (pause/resume) fabric operation in the
+// simulator; PFC storms are the µEvent type of §5 the paper names but does
+// not evaluate.
+type PFCConfig = netsim.PFCConfig
+
+// DefaultPFC returns common lossless-class thresholds.
+func DefaultPFC() PFCConfig { return netsim.DefaultPFC() }
+
+// PauseStorm is a cluster of PFC pause assertions at one switch.
+type PauseStorm = uevent.PauseStorm
+
+// PauseStorms clusters a trace's PFC log into storms.
+func PauseStorms(log []netsim.PFCRecord, gapNs int64) []PauseStorm {
+	return uevent.PauseStorms(log, gapNs)
+}
+
+// LossForensics grades how many tail drops were preceded by captured CE
+// mirrors (§5's loss-attribution story).
+type LossForensics = uevent.LossForensics
+
+// MirrorRecord is one mirrored event observation.
+type MirrorRecord = uevent.MirrorRecord
+
+// CaptureEvents applies a sampling ACL to a trace's CE log.
+func CaptureEvents(celog []netsim.CERecord, rule ACLRule) []MirrorRecord {
+	return uevent.Capture(celog, rule, 0)
+}
+
+// AttributeDrops checks each dropped packet against the mirror stream.
+func AttributeDrops(drops []netsim.DropRecord, mirrors []MirrorRecord, lookbackNs int64) LossForensics {
+	return uevent.AttributeDrops(drops, mirrors, lookbackNs)
+}
+
+// DedupMirrors suppresses multi-hop duplicate observations (§5's
+// programmable-switch enhancement).
+func DedupMirrors(mirrors []MirrorRecord, slots int, ttlNs int64) []MirrorRecord {
+	return uevent.Dedup(mirrors, slots, ttlNs)
+}
+
+// Diagnosis classifies a congestion event (incast/collision/single) and
+// separates culprit from victim flows.
+type Diagnosis = analyzer.Diagnosis
+
+// Event/flow diagnosis verdicts.
+const (
+	KindIncast            = analyzer.KindIncast
+	KindCollision         = analyzer.KindCollision
+	KindSingle            = analyzer.KindSingle
+	VerdictHostLimited    = analyzer.VerdictHostLimited
+	VerdictNetworkLimited = analyzer.VerdictNetworkLimited
+	VerdictHealthy        = analyzer.VerdictHealthy
+)
+
+// DutyCycledMonitor measures a fraction of reporting periods (§9's
+// cost/quality knob).
+type DutyCycledMonitor = core.DutyCycledMonitor
+
+// NewDutyCycledMonitor wraps a host monitor to measure `active` out of
+// every `cycle` reporting periods.
+func NewDutyCycledMonitor(inner *HostMonitor, active, cycle int64) *DutyCycledMonitor {
+	return core.NewDutyCycledMonitor(inner, active, cycle)
+}
+
+// Aggregator is the Agg-Evict per-(flow, window) coalescing front cache
+// (§8 future work): same answers, several-fold fewer sketch updates.
+type Aggregator = wavesketch.Aggregator
+
+// NewAggregator wraps an estimator with a coalescing cache of the given
+// number of lines.
+func NewAggregator(inner measure.SeriesEstimator, lines int) *Aggregator {
+	return wavesketch.NewAggregator(inner, lines)
+}
+
+// SeriesEstimator is the interface all measurement schemes implement.
+type SeriesEstimator = measure.SeriesEstimator

@@ -1,0 +1,103 @@
+package umon_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"umon"
+)
+
+// TestFacadeQuickstart exercises the public API end to end the way the
+// quickstart example does: sketch a synthetic flow, report it, query it.
+func TestFacadeQuickstart(t *testing.T) {
+	sk, err := umon.NewWaveSketch(umon.DefaultSketch(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := umon.FlowKey{SrcIP: 0x0a000101, DstIP: 0x0a000201, SrcPort: 7, DstPort: 4791, Proto: 17}
+	for w := int64(0); w < 128; w++ {
+		sk.Update(f, w, 8192)
+	}
+	sk.Seal()
+	est := sk.QueryRange(f, 0, 128)
+	for w, v := range est {
+		if math.Abs(umon.RateGbps(v)-8) > 0.5 {
+			t.Fatalf("window %d rate = %v Gbps, want ≈8", w, umon.RateGbps(v))
+		}
+	}
+}
+
+func TestFacadeWavelet(t *testing.T) {
+	c, err := umon.WaveletForward([]int64{7, 9, 6, 3, 2, 4, 4, 6}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Approx[0] != 41 {
+		t.Errorf("approx = %v", c.Approx)
+	}
+	rec := umon.WaveletReconstruct(c.Approx, []umon.DetailRef{{Level: 2, Index: 0, Val: 9}}, 3, 8)
+	if len(rec) != 8 {
+		t.Errorf("reconstruction length %d", len(rec))
+	}
+}
+
+func TestFacadeDeployment(t *testing.T) {
+	topo, err := umon.Dumbbell(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := umon.NewNetwork(umon.DefaultSimConfig(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := umon.DefaultSystem()
+	cfg.Switch.Rule = umon.ACLRule{SampleBits: 1}
+	sys, err := umon.Deploy(n, topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.AddFlow(umon.FlowSpec{Src: 0, Dst: 2, Bytes: 5_000_000})
+	n.AddFlow(umon.FlowSpec{Src: 1, Dst: 2, Bytes: 5_000_000})
+	n.Run(3_000_000)
+	if err := sys.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Analyzer.Mirrors() == 0 {
+		t.Error("deployment captured no mirrors")
+	}
+	if len(sys.Analyzer.DetectEvents(0)) == 0 {
+		t.Error("no events detected")
+	}
+}
+
+func TestFacadeHostMonitorRoundTrip(t *testing.T) {
+	var encoded []byte
+	cfg := umon.DefaultHostMonitor()
+	cfg.PeriodNs = 1_000_000
+	m, err := umon.NewHostMonitor(3, cfg, func(_ int, b []byte) { encoded = b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := umon.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4791, Proto: 17}
+	m.OnPacket(f, 100, 1000)
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := umon.DecodeReport(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Host != 3 {
+		t.Errorf("decoded host = %d", rep.Host)
+	}
+}
+
+func TestWindowHelpers(t *testing.T) {
+	if umon.WindowNanos != 8192 {
+		t.Errorf("WindowNanos = %d", umon.WindowNanos)
+	}
+	if umon.WindowOf(8192*10+1) != 10 {
+		t.Error("WindowOf broken")
+	}
+}
