@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test test-short test-race bench bench-accuracy bench-micro vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Race coverage for the parallel evaluation harness: the worker pool itself
+# plus the concurrency/determinism tests over the singleflight sim cache.
+test-race:
+	$(GO) test -race ./internal/parallel
+	$(GO) test -race ./internal/experiments -run TestParallel
+
+vet:
+	$(GO) vet ./...
+
+# Full evaluation suite (paper-scale 20 ms traces). UMON_WORKERS bounds the
+# worker pool; UMON_BENCH_MS scales the traces.
+bench:
+	$(GO) test -bench . -benchtime 1x
+
+bench-accuracy:
+	$(GO) test -bench 'Fig1[12]' -benchtime 1x
+
+bench-micro:
+	$(GO) test -bench 'WaveletStreamPush|GroundTruthUpdate|EngineEventLoop' -benchtime 2s

@@ -17,6 +17,9 @@ import (
 	"umon"
 	"umon/internal/experiments"
 	"umon/internal/flowkey"
+	"umon/internal/measure"
+	"umon/internal/netsim"
+	"umon/internal/wavelet"
 	"umon/internal/wavesketch"
 )
 
@@ -34,6 +37,11 @@ func cache() *experiments.Cache {
 			}
 		}
 		benchCache = experiments.NewCache(experiments.Options{DurationNs: ms * 1_000_000, Seed: 42})
+		// Build the six shared simulations concurrently up front; every
+		// benchmark then hits a warm cache.
+		if err := benchCache.Prewarm(experiments.StandardKeys()); err != nil {
+			panic(err)
+		}
 	})
 	return benchCache
 }
@@ -146,6 +154,71 @@ func BenchmarkHostMonitorPipeline(b *testing.B) {
 		if err := m.OnPacket(f, int64(i)*100, 1058); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkWaveletStreamPush measures the streaming transform's per-window
+// cost through the top-K sink, including the heap fill phase (Reset every
+// 512 windows) where container/heap used to box one interface per push.
+func BenchmarkWaveletStreamPush(b *testing.B) {
+	s := wavelet.NewStream(8, 64)
+	sink := wavelet.NewTopKSink(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := i & 511
+		if w == 0 && i > 0 {
+			s.Finish(sink)
+			s.Reset()
+			sink.Reset()
+		}
+		s.Push(w, int64(w%1500+1), sink)
+	}
+}
+
+// BenchmarkGroundTruthUpdate measures exact-series accumulation under a
+// bursty key pattern (several consecutive updates per flow, as host egress
+// streams produce).
+func BenchmarkGroundTruthUpdate(b *testing.B) {
+	g := measure.NewGroundTruth()
+	keys := make([]flowkey.Key, 64)
+	for i := range keys {
+		keys[i] = flowkey.Key{
+			SrcIP: 0x0a000001 + uint32(i), DstIP: 0x0a000064,
+			SrcPort: uint16(i), DstPort: flowkey.RoCEPort, Proto: flowkey.ProtoUDP,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Update(keys[(i>>3)&63], int64(i>>9), 1058)
+	}
+}
+
+// BenchmarkEngineEventLoop measures discrete-event scheduling churn: one
+// shared closure scheduled and drained in batches, isolating the event
+// queue's own cost.
+func BenchmarkEngineEventLoop(b *testing.B) {
+	e := netsim.NewEngine()
+	var sink int
+	fn := func() { sink++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 1024
+	var now int64
+	for i := 0; i < b.N; i += batch {
+		n := batch
+		if b.N-i < n {
+			n = b.N - i
+		}
+		for j := 0; j < n; j++ {
+			now++
+			e.At(now, fn)
+		}
+		e.Run(now)
+	}
+	if sink != b.N {
+		b.Fatalf("ran %d events, want %d", sink, b.N)
 	}
 }
 

@@ -3,21 +3,28 @@
 // Usage:
 //
 //	umon-bench [-run fig11,fig14] [-ms 20] [-seed 42] [-list]
+//	           [-workers N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With no -run it executes every registered experiment in presentation
-// order, sharing the cached fat-tree simulations across them. -ms scales
-// the trace duration (the paper uses 20 ms traces; smaller values are
-// useful for smoke runs).
+// order, prewarming the six shared fat-tree simulations concurrently and
+// then sharing them across experiments. -ms scales the trace duration (the
+// paper uses 20 ms traces; smaller values are useful for smoke runs).
+// -workers bounds the evaluation worker pool (default: GOMAXPROCS, or the
+// UMON_WORKERS environment variable); tables are byte-identical at any
+// width. -cpuprofile/-memprofile write pprof profiles for the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"umon/internal/experiments"
+	"umon/internal/parallel"
 )
 
 func main() {
@@ -25,6 +32,9 @@ func main() {
 	ms := flag.Int64("ms", 20, "trace duration in milliseconds")
 	seed := flag.Int64("seed", 42, "workload/marking seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	workers := flag.Int("workers", 0, "worker-pool width (0: UMON_WORKERS or GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -32,6 +42,22 @@ func main() {
 			fmt.Println(e.ID)
 		}
 		return
+	}
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "umon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "umon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cache := experiments.NewCache(experiments.Options{DurationNs: *ms * 1_000_000, Seed: *seed})
@@ -42,6 +68,15 @@ func main() {
 		for _, e := range experiments.All() {
 			ids = append(ids, e.ID)
 		}
+		// The full suite touches all six standard simulations; build them
+		// concurrently before the (sequential) presentation loop.
+		start := time.Now()
+		if err := cache.Prewarm(experiments.StandardKeys()); err != nil {
+			fmt.Fprintf(os.Stderr, "umon-bench: prewarm: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  (prewarmed %d simulations in %.1fs, %d workers)\n\n",
+			len(experiments.StandardKeys()), time.Since(start).Seconds(), parallel.Workers())
 	} else {
 		ids = strings.Split(*run, ",")
 	}
@@ -61,6 +96,19 @@ func main() {
 		}
 		tab.Fprint(os.Stdout)
 		fmt.Printf("  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "umon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "umon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 	if failed > 0 {
 		os.Exit(1)

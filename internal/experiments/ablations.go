@@ -20,7 +20,11 @@ import (
 func largestFlows(sim *SimResult, n int) []flowkey.Key {
 	flows := sim.Truth.Flows()
 	sort.Slice(flows, func(i, j int) bool {
-		return sim.Truth.Flow(flows[i]).Total() > sim.Truth.Flow(flows[j]).Total()
+		ti, tj := sim.Truth.Flow(flows[i]).Total(), sim.Truth.Flow(flows[j]).Total()
+		if ti != tj {
+			return ti > tj
+		}
+		return flows[i].Compare(flows[j]) < 0 // deterministic tiebreak
 	})
 	if len(flows) > n {
 		flows = flows[:n]

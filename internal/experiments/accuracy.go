@@ -9,6 +9,7 @@ import (
 	"umon/internal/flowkey"
 	"umon/internal/measure"
 	"umon/internal/metrics"
+	"umon/internal/parallel"
 	"umon/internal/wavesketch"
 )
 
@@ -76,7 +77,11 @@ func buildScheme(name string, memBytes int64, periodWindows int64, samples [][]i
 func calibrationSamples(sim *SimResult, n int) [][]int64 {
 	flows := sim.Truth.Flows()
 	sort.Slice(flows, func(i, j int) bool {
-		return sim.Truth.Flow(flows[i]).Total() > sim.Truth.Flow(flows[j]).Total()
+		ti, tj := sim.Truth.Flow(flows[i]).Total(), sim.Truth.Flow(flows[j]).Total()
+		if ti != tj {
+			return ti > tj
+		}
+		return flows[i].Compare(flows[j]) < 0 // deterministic tiebreak
 	})
 	if len(flows) > n {
 		flows = flows[:n]
@@ -106,26 +111,32 @@ func runSchemes(sim *SimResult, memBytes int64, names []string) ([]hostRun, erro
 	for i, name := range names {
 		runs[i].name = name
 		runs[i].instances = make([]measure.SeriesEstimator, hosts)
-		for h := 0; h < hosts; h++ {
+	}
+	// Hosts are independent: each host's estimator instances see only that
+	// host's egress stream, so ingestion parallelizes across hosts. Seeds
+	// depend only on the host index, so results are identical to the
+	// sequential replay.
+	err := parallel.ForEachErr(hosts, func(h int) error {
+		for i, name := range names {
 			inst, err := buildScheme(name, memBytes, periodWindows, samples, uint64(h)*977+13)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			runs[i].instances[h] = inst
 		}
-	}
-	for h := 0; h < hosts; h++ {
 		for _, rec := range sim.Trace.HostPackets[h] {
 			w := measure.WindowOf(rec.Ns)
 			for i := range runs {
 				runs[i].instances[h].Update(rec.Flow, w, int64(rec.Size))
 			}
 		}
-	}
-	for i := range runs {
-		for _, inst := range runs[i].instances {
-			inst.Seal()
+		for i := range runs {
+			runs[i].instances[h].Seal()
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return runs, nil
 }
@@ -134,16 +145,26 @@ func runSchemes(sim *SimResult, memBytes int64, names []string) ([]hostRun, erro
 // optionally filtered to flows whose series length (windows) lies in
 // [minLen, maxLen).
 func gradeRun(sim *SimResult, run hostRun, minLen, maxLen int) metrics.Summary {
-	var cs metrics.CurveSet
-	for _, f := range sim.Truth.Flows() {
+	// Flows are graded in sorted-key order (not map order) and folded into
+	// the CurveSet in that same order, so the summary's float accumulation —
+	// and therefore the rendered table — is identical however many workers
+	// compute the per-flow metrics.
+	flows := sim.Truth.SortedFlows()
+	type flowGrade struct {
+		ok                          bool
+		euclidean, are, cos, energy float64
+	}
+	grades := make([]flowGrade, len(flows))
+	parallel.ForEach(len(flows), func(fi int) {
+		f := flows[fi]
 		ts := sim.Truth.Flow(f)
 		n := len(ts.Counts)
 		if n < minLen || (maxLen > 0 && n >= maxLen) {
-			continue
+			return
 		}
 		src := srcHostOf(f)
 		if src < 0 || src >= len(run.instances) {
-			continue
+			return
 		}
 		est := run.instances[src].QueryRange(f, ts.Start, ts.End())
 		truth := make([]float64, n)
@@ -153,7 +174,19 @@ func gradeRun(sim *SimResult, run hostRun, minLen, maxLen int) metrics.Summary {
 		for i := range est {
 			est[i] = analyzer.RateGbps(est[i])
 		}
-		cs.Add(truth, est)
+		grades[fi] = flowGrade{
+			ok:        true,
+			euclidean: metrics.Euclidean(truth, est),
+			are:       metrics.ARE(truth, est),
+			cos:       metrics.Cosine(truth, est),
+			energy:    metrics.Energy(truth, est),
+		}
+	})
+	var cs metrics.CurveSet
+	for _, g := range grades {
+		if g.ok {
+			cs.AddValues(g.euclidean, g.are, g.cos, g.energy)
+		}
 	}
 	return cs.Summarize()
 }

@@ -12,9 +12,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"umon/internal/measure"
 	"umon/internal/netsim"
+	"umon/internal/parallel"
 	"umon/internal/workload"
 )
 
@@ -69,28 +71,82 @@ type SimResult struct {
 	HorizonNs int64
 }
 
-// Cache memoizes simulations across experiments.
+// simEntry is one singleflight slot: the first caller to claim the entry
+// builds the simulation inside once; every other caller for the same key
+// blocks on the same once and then reads the shared result.
+type simEntry struct {
+	once sync.Once
+	done atomic.Bool
+	res  *SimResult
+	err  error
+}
+
+// Cache memoizes simulations across experiments. Lookups take a short
+// per-map mutex only; the expensive build runs outside the lock, so
+// distinct keys build concurrently (singleflight per key).
 type Cache struct {
 	opt  Options
 	mu   sync.Mutex
-	sims map[SimKey]*SimResult
+	sims map[SimKey]*simEntry
+	// onBuild, when set, is invoked at the start of each build (test hook
+	// for observing build concurrency).
+	onBuild func(SimKey)
 }
 
 // NewCache returns a cache with the given options.
 func NewCache(opt Options) *Cache {
-	return &Cache{opt: opt.filled(), sims: make(map[SimKey]*SimResult)}
+	return &Cache{opt: opt.filled(), sims: make(map[SimKey]*simEntry)}
 }
 
 // Options returns the filled options.
 func (c *Cache) Options() Options { return c.opt }
 
-// Sim returns (building if needed) the simulation for the key.
+// Sim returns (building if needed) the simulation for the key. Concurrent
+// calls for the same key share one build; calls for distinct keys build in
+// parallel.
 func (c *Cache) Sim(key SimKey) (*SimResult, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if s, ok := c.sims[key]; ok {
-		return s, nil
+	e, ok := c.sims[key]
+	if !ok {
+		e = &simEntry{}
+		c.sims[key] = e
 	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		if c.onBuild != nil {
+			c.onBuild(key)
+		}
+		e.res, e.err = c.build(key)
+		e.done.Store(true)
+	})
+	return e.res, e.err
+}
+
+// Prewarm builds every listed simulation concurrently (bounded by the
+// worker pool) so subsequent experiments hit a warm cache. The first build
+// error (lowest index) is returned, but all builds are attempted.
+func (c *Cache) Prewarm(keys []SimKey) error {
+	return parallel.ForEachErr(len(keys), func(i int) error {
+		_, err := c.Sim(keys[i])
+		return err
+	})
+}
+
+// StandardKeys lists the six simulations the paper's evaluation reuses:
+// both workloads at 15/25/35% load.
+func StandardKeys() []SimKey {
+	return []SimKey{
+		{"FacebookHadoop", 0.15},
+		{"FacebookHadoop", 0.25},
+		{"FacebookHadoop", 0.35},
+		{"WebSearch", 0.15},
+		{"WebSearch", 0.25},
+		{"WebSearch", 0.35},
+	}
+}
+
+// build runs the simulation for key and derives its ground truth.
+func (c *Cache) build(key SimKey) (*SimResult, error) {
 	dist, err := distFor(key.Workload)
 	if err != nil {
 		return nil, err
@@ -113,15 +169,21 @@ func (c *Cache) Sim(key SimKey) (*SimResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	truth := measure.NewGroundTruth()
-	for _, recs := range trace.HostPackets {
-		for _, r := range recs {
-			truth.Update(r.Flow, measure.WindowOf(r.Ns), int64(r.Size))
+	// Host egress streams are disjoint by flow (a flow egresses only at its
+	// source), so per-host truths can be built in parallel and merged.
+	truths := make([]*measure.GroundTruth, len(trace.HostPackets))
+	parallel.ForEach(len(trace.HostPackets), func(h int) {
+		g := measure.NewGroundTruth()
+		for _, r := range trace.HostPackets[h] {
+			g.Update(r.Flow, measure.WindowOf(r.Ns), int64(r.Size))
 		}
+		truths[h] = g
+	})
+	truth := measure.NewGroundTruth()
+	for _, g := range truths {
+		truth.Merge(g)
 	}
-	s := &SimResult{Key: key, Flows: flows, Trace: trace, Truth: truth, HorizonNs: horizon}
-	c.sims[key] = s
-	return s, nil
+	return &SimResult{Key: key, Flows: flows, Trace: trace, Truth: truth, HorizonNs: horizon}, nil
 }
 
 // Table is one regenerated table or figure: headers, rows, and notes that

@@ -5,6 +5,7 @@ import (
 
 	"umon/internal/analyzer"
 	"umon/internal/measure"
+	"umon/internal/parallel"
 	"umon/internal/report"
 	"umon/internal/uevent"
 	"umon/internal/wavesketch"
@@ -100,20 +101,30 @@ func Fig10EventReplay(c *Cache) (*Table, error) {
 	}
 
 	// Host side: full-version WaveSketch per host, fed from the egress
-	// streams, uploaded as reports.
+	// streams, uploaded as reports. Per-host sketches build in parallel;
+	// reports are handed to the analyzer in host order to keep its state
+	// deterministic.
 	a := analyzer.New()
-	for h, recs := range sim.Trace.HostPackets {
+	reports := make([]*report.HostReport, len(sim.Trace.HostPackets))
+	err = parallel.ForEachErr(len(sim.Trace.HostPackets), func(h int) error {
 		cfg := wavesketch.DefaultFull()
 		cfg.Light.K = 64
 		full, err := wavesketch.NewFull(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, rec := range recs {
+		for _, rec := range sim.Trace.HostPackets[h] {
 			full.Update(rec.Flow, measure.WindowOf(rec.Ns), int64(rec.Size))
 		}
 		full.Seal()
-		a.AddReport(report.FromFull(h, 0, full))
+		reports[h] = report.FromFull(h, 0, full)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rep := range reports {
+		a.AddReport(rep)
 	}
 	// Switch side: 1/64-sampled CE mirroring.
 	mirrors := uevent.Capture(sim.Trace.CELog, uevent.ACLRule{SampleBits: 6}, 0)

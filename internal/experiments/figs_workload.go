@@ -37,12 +37,16 @@ func Fig03CounterIncrease(c *Cache) (*Table, error) {
 	return t, nil
 }
 
-// peek returns a cached simulation without building one.
+// peek returns a cached simulation without building one (and without
+// waiting on an in-flight build).
 func (c *Cache) peek(key SimKey) (*SimResult, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	s, ok := c.sims[key]
-	return s, ok
+	e, ok := c.sims[key]
+	c.mu.Unlock()
+	if !ok || !e.done.Load() || e.err != nil {
+		return nil, false
+	}
+	return e.res, true
 }
 
 // Table2Workloads regenerates Table 2: packets and flows per simulation

@@ -36,6 +36,26 @@ func u32ip(v uint32) netip.Addr {
 	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
 }
 
+// Compare orders keys lexicographically over (SrcIP, DstIP, SrcPort,
+// DstPort, Proto), returning -1, 0 or +1. It gives sorts over map-derived
+// key sets a deterministic total order, which the experiment harness needs
+// for byte-identical output at any worker count.
+func (k Key) Compare(o Key) int {
+	a1, b1 := k.pack()
+	a2, b2 := o.pack()
+	switch {
+	case a1 < a2:
+		return -1
+	case a1 > a2:
+		return 1
+	case b1 < b2:
+		return -1
+	case b1 > b2:
+		return 1
+	}
+	return 0
+}
+
 // Reverse returns the key of the opposite direction (used for ACKs/CNPs).
 func (k Key) Reverse() Key {
 	return Key{SrcIP: k.DstIP, DstIP: k.SrcIP, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}

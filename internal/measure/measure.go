@@ -8,6 +8,8 @@
 package measure
 
 import (
+	"sort"
+
 	"umon/internal/flowkey"
 )
 
@@ -78,6 +80,10 @@ func (s *Series) Total() int64 {
 // GroundTruth accumulates exact per-flow window series.
 type GroundTruth struct {
 	flows map[flowkey.Key]*Series
+	// last short-circuits the map lookup when consecutive updates hit the
+	// same flow (egress streams are bursty, so this is the common case).
+	lastKey flowkey.Key
+	last    *Series
 }
 
 // NewGroundTruth returns an empty ground-truth accumulator.
@@ -88,20 +94,63 @@ func NewGroundTruth() *GroundTruth {
 // Update records v bytes for flow f in absolute window w. Unlike the
 // estimators, ground truth accepts any window order.
 func (g *GroundTruth) Update(f flowkey.Key, w int64, v int64) {
-	s, ok := g.flows[f]
-	if !ok {
-		s = &Series{Start: w, Counts: []int64{0}}
-		g.flows[f] = s
+	s := g.last
+	if s == nil || f != g.lastKey {
+		var ok bool
+		s, ok = g.flows[f]
+		if !ok {
+			s = &Series{Start: w, Counts: make([]int64, 1, 8)}
+			g.flows[f] = s
+		}
+		g.lastKey, g.last = f, s
 	}
+	s.add(w, v)
+}
+
+// add folds v into window w, extending the series as needed. Forward
+// extension grows the backing array geometrically and zero-fills in place,
+// so steady-state updates allocate nothing.
+func (s *Series) add(w, v int64) {
 	switch {
 	case w < s.Start:
 		pad := make([]int64, s.Start-w)
 		s.Counts = append(pad, s.Counts...)
 		s.Start = w
 	case w >= s.End():
-		s.Counts = append(s.Counts, make([]int64, w-s.End()+1)...)
+		n := int(w-s.Start) + 1
+		if n > cap(s.Counts) {
+			grown := make([]int64, len(s.Counts), max(n, 2*cap(s.Counts)))
+			copy(grown, s.Counts)
+			s.Counts = grown
+		}
+		tail := s.Counts[len(s.Counts):n]
+		for i := range tail {
+			tail[i] = 0
+		}
+		s.Counts = s.Counts[:n]
 	}
 	s.Counts[w-s.Start] += v
+}
+
+// Merge folds every flow of o into g (o must not be used afterwards).
+// Building per-host truths in parallel and merging them is how the
+// simulation cache parallelizes truth construction: per-host flow sets are
+// disjoint there, making Merge a pointer move, but overlapping flows are
+// handled by summing window counts.
+func (g *GroundTruth) Merge(o *GroundTruth) {
+	for k, s := range o.flows {
+		dst, ok := g.flows[k]
+		if !ok {
+			g.flows[k] = s
+			continue
+		}
+		for i, v := range s.Counts {
+			if v != 0 {
+				dst.add(s.Start+int64(i), v)
+			}
+		}
+	}
+	g.last, g.lastKey = nil, flowkey.Key{}
 }
 
 // Flow returns the exact series of f, or nil if unseen.
@@ -113,6 +162,15 @@ func (g *GroundTruth) Flows() []flowkey.Key {
 	for k := range g.flows {
 		out = append(out, k)
 	}
+	return out
+}
+
+// SortedFlows returns all flow keys in ascending key order — a
+// deterministic sequence for consumers whose float accumulation order (and
+// therefore rendered output) must not depend on map iteration.
+func (g *GroundTruth) SortedFlows() []flowkey.Key {
+	out := g.Flows()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
 

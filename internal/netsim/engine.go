@@ -6,8 +6,6 @@
 // ground-truth congestion episodes.
 package netsim
 
-import "container/heap"
-
 // Engine is a deterministic discrete-event scheduler with nanosecond time.
 // The simulator's three per-packet hot paths (serialization completion,
 // link arrival, flow injection) are typed events to avoid the allocation
@@ -41,23 +39,61 @@ type event struct {
 	host *host
 }
 
+// eventHeap is a typed binary min-heap ordered by (at, seq). It is
+// hand-rolled rather than built on container/heap because heap.Push boxes
+// every event into an interface — one heap allocation per scheduled event,
+// millions per simulation. push/pop reuse the same backing array, so the
+// queue reaches a steady state with no per-event allocation at all.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() (out any) {
-	old := *h
-	n := len(old)
-	out = old[n-1]
-	old[n-1] = event{} // release references
-	*h = old[:n-1]
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s)
+	out := s[0]
+	s[0] = s[n-1]
+	s[n-1] = event{} // release references
+	s = s[:n-1]
+	*h = s
+	// Sift the new root down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(s) {
+			break
+		}
+		least := l
+		if r := l + 1; r < len(s) && s.less(r, l) {
+			least = r
+		}
+		if !s.less(least, i) {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
 	return out
 }
 
@@ -73,7 +109,7 @@ func (e *Engine) push(ev event) {
 	}
 	e.seq++
 	ev.seq = e.seq
-	heap.Push(&e.pq, ev)
+	e.pq.push(ev)
 }
 
 // At schedules fn at absolute time t (clamped to now for past times).
@@ -106,7 +142,7 @@ func (e *Engine) Run(until int64) int {
 		if e.pq[0].at > until {
 			break
 		}
-		ev := heap.Pop(&e.pq).(event)
+		ev := e.pq.pop()
 		e.now = ev.at
 		switch ev.kind {
 		case evFunc:

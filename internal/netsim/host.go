@@ -191,14 +191,14 @@ func (h *host) inject(fs *flowState) {
 		return
 	}
 
-	pkt := h.sendSegment(fs)
+	size := h.sendSegment(fs)
 	if fs.remaining <= 0 {
 		if !fs.reliable {
 			fs.finished = true
 		}
 		return
 	}
-	gapNs := int64(float64(pkt.Size) * 8 / fs.cc.rc * 1e9)
+	gapNs := int64(float64(size) * 8 / fs.cc.rc * 1e9)
 	if gapNs < 1 {
 		gapNs = 1
 	}
@@ -238,20 +238,24 @@ func (h *host) trySendWindow(fs *flowState) {
 	}
 }
 
-// sendSegment constructs and enqueues the flow's next data segment.
-func (h *host) sendSegment(fs *flowState) *Packet {
+// sendSegment constructs and enqueues the flow's next data segment,
+// returning its wire size. (The packet itself may already be recycled by a
+// tail drop when this returns, so callers get the size, not the pointer.)
+func (h *host) sendSegment(fs *flowState) int32 {
 	now := h.net.eng.Now()
 	payload := int64(PayloadBytes)
 	if fs.remaining < payload {
 		payload = fs.remaining
 	}
 	fs.remaining -= payload
-	pkt := &Packet{
+	size := int32(payload + HeaderBytes)
+	pkt := h.net.newPacket()
+	*pkt = Packet{
 		Flow:   fs.key,
 		FlowID: fs.id,
 		Type:   Data,
 		PSN:    fs.psn,
-		Size:   int32(payload + HeaderBytes),
+		Size:   size,
 		ECT:    true,
 		SentNs: now,
 		Last:   fs.remaining == 0,
@@ -264,7 +268,7 @@ func (h *host) sendSegment(fs *flowState) *Packet {
 		st.FirstTxNs = now
 	}
 	h.net.enqueue(h.port, pkt)
-	return pkt
+	return size
 }
 
 // rewind implements the go-back-N sender: resume from PSN `to`.
@@ -298,8 +302,11 @@ func (h *host) onPortDrained(p *port) {
 	}
 }
 
-// receive handles packets arriving at this host.
+// receive handles packets arriving at this host. The host is every
+// packet's final stop, so the packet is recycled once handled; no receive
+// path retains the pointer.
 func (h *host) receive(pkt *Packet) {
+	defer h.net.recycle(pkt)
 	now := h.net.eng.Now()
 	switch pkt.Type {
 	case Data:
@@ -367,7 +374,8 @@ func (h *host) receiveReliable(pkt *Packet, now int64) {
 
 // sendCtl emits an ACK or NAK back to the sender.
 func (h *host) sendCtl(data *Packet, typ PacketType, psn uint32, ce bool) {
-	h.net.enqueue(h.port, &Packet{
+	pkt := h.net.newPacket()
+	*pkt = Packet{
 		Flow:   data.Flow.Reverse(),
 		FlowID: data.FlowID,
 		Type:   typ,
@@ -375,7 +383,8 @@ func (h *host) sendCtl(data *Packet, typ PacketType, psn uint32, ce bool) {
 		Size:   AckBytes,
 		CE:     ce, // ECE echo rides the ACK
 		SentNs: h.net.eng.Now(),
-	})
+	}
+	h.net.enqueue(h.port, pkt)
 }
 
 // maybeCNP applies the DCQCN receiver's CNP pacing.
@@ -385,13 +394,15 @@ func (h *host) maybeCNP(pkt *Packet, now int64) {
 		return
 	}
 	h.lastCNP[pkt.FlowID] = now
-	h.net.enqueue(h.port, &Packet{
+	cnp := h.net.newPacket()
+	*cnp = Packet{
 		Flow:   pkt.Flow.Reverse(),
 		FlowID: pkt.FlowID,
 		Type:   CNP,
 		Size:   CNPBytes,
 		SentNs: now,
-	})
+	}
+	h.net.enqueue(h.port, cnp)
 }
 
 // receiveAck drives the DCTCP sender.

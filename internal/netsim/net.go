@@ -235,11 +235,18 @@ type Network struct {
 	hosts []*host
 	trace *Trace
 	rngs  rngState
+	// pktFree recycles packets whose journey ended (delivered, dropped or
+	// unroutable); senders draw from it before allocating. One simulation
+	// then allocates only as many Packets as are simultaneously in flight.
+	pktFree []*Packet
 	// OnHostEgress, if set, is invoked for every data packet leaving a
-	// host NIC (in addition to trace recording).
+	// host NIC (in addition to trace recording). The callback must not
+	// retain pkt beyond the call: the packet continues through the fabric
+	// and is recycled on delivery.
 	OnHostEgress func(host int, pkt *Packet, now int64)
 	// OnSwitchCE, if set, is invoked for every CE-marked packet leaving a
-	// switch egress port — the live feed a µMon switch monitor taps.
+	// switch egress port — the live feed a µMon switch monitor taps. As
+	// with OnHostEgress, pkt must not be retained beyond the call.
 	OnSwitchCE func(sw, port int16, pkt *Packet, now int64)
 }
 
@@ -297,6 +304,20 @@ func New(cfg Config) (*Network, error) {
 // Engine exposes the event engine (examples schedule custom events).
 func (n *Network) Engine() *Engine { return n.eng }
 
+// newPacket draws a recycled packet or allocates a fresh one. The caller
+// must overwrite every field (assign a full Packet literal).
+func (n *Network) newPacket() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree = n.pktFree[:k-1]
+		return p
+	}
+	return new(Packet)
+}
+
+// recycle returns a packet whose journey ended to the free list.
+func (n *Network) recycle(p *Packet) { n.pktFree = append(n.pktFree, p) }
+
 // Trace returns the accumulating trace.
 func (n *Network) Trace() *Trace { return n.trace }
 
@@ -317,6 +338,7 @@ func (n *Network) enqueue(p *port, pkt *Packet) {
 				Ns: now, Switch: n.switchIndex(p.owner), Port: int16(p.index), FlowID: pkt.FlowID,
 			})
 		}
+		n.recycle(pkt)
 		return
 	}
 	isSwitch := !n.topo.IsHost(p.owner)
@@ -466,6 +488,7 @@ func (n *Network) arrive(v NodeID, _ int, pkt *Packet) {
 	dst := pkt.dstHost()
 	hops := n.topo.NextHops(v, dst)
 	if len(hops) == 0 {
+		n.recycle(pkt)
 		return // unroutable; cannot happen on validated topologies
 	}
 	pi := hops[0]

@@ -1,0 +1,109 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	prev := SetWorkers(0)
+	defer SetWorkers(prev)
+	old, had := os.LookupEnv("UMON_WORKERS")
+	defer func() {
+		if had {
+			os.Setenv("UMON_WORKERS", old)
+		} else {
+			os.Unsetenv("UMON_WORKERS")
+		}
+	}()
+
+	os.Unsetenv("UMON_WORKERS")
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	os.Setenv("UMON_WORKERS", "3")
+	if got := Workers(); got != 3 {
+		t.Errorf("env Workers() = %d, want 3", got)
+	}
+	os.Setenv("UMON_WORKERS", "bogus")
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("bad env Workers() = %d, want GOMAXPROCS", got)
+	}
+	SetWorkers(7)
+	os.Setenv("UMON_WORKERS", "3")
+	if got := Workers(); got != 7 {
+		t.Errorf("SetWorkers must win over env: got %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 16} {
+		prev := SetWorkers(w)
+		const n = 1000
+		counts := make([]int32, n)
+		ForEach(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+func TestForEachZeroAndTiny(t *testing.T) {
+	ForEach(0, func(int) { t.Fatal("must not run") })
+	ran := false
+	ForEach(1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("single iteration skipped")
+	}
+}
+
+func TestForEachErrReturnsLowestIndex(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	errA := errors.New("a")
+	err := ForEachErr(100, func(i int) error {
+		switch i {
+		case 7:
+			return errA
+		case 60:
+			return errors.New("b")
+		}
+		return nil
+	})
+	if err != errA {
+		t.Errorf("got %v, want lowest-index error %v", err, errA)
+	}
+	if err := ForEachErr(10, func(int) error { return nil }); err != nil {
+		t.Errorf("unexpected error %v", err)
+	}
+}
+
+// TestForEachConcurrentCallers hammers the pool from 16 goroutines at once
+// (run under -race via the Makefile test-race target).
+func TestForEachConcurrentCallers(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sums := make([]int, 64)
+			ForEach(len(sums), func(i int) { sums[i] = i * i })
+			for i, s := range sums {
+				if s != i*i {
+					panic(fmt.Sprintf("goroutine %d: slot %d = %d", g, i, s))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

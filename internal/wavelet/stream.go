@@ -1,7 +1,6 @@
 package wavelet
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -151,12 +150,12 @@ func (t *TopKSink) Offer(level, index int, val int64) {
 	}
 	r := DetailRef{Level: level, Index: index, Val: val}
 	if t.heap.Len() < t.K {
-		heap.Push(&t.heap, r)
+		t.heap.push(r)
 		return
 	}
 	if r.WeightedAbs() > t.heap.refs[0].WeightedAbs() {
 		t.heap.refs[0] = r
-		heap.Fix(&t.heap, 0)
+		t.heap.down(0)
 	}
 }
 
@@ -180,18 +179,48 @@ func (t *TopKSink) MinWeighted() float64 {
 // Reset empties the sink, keeping allocations.
 func (t *TopKSink) Reset() { t.heap.refs = t.heap.refs[:0] }
 
+// detailHeap is a typed min-heap keyed by WeightedAbs. It is hand-rolled
+// rather than built on container/heap because heap.Push boxes each
+// DetailRef into an interface — one heap allocation per offered
+// coefficient on the sketch's per-packet path.
 type detailHeap struct{ refs []DetailRef }
 
 func (h *detailHeap) Len() int { return len(h.refs) }
-func (h *detailHeap) Less(i, j int) bool {
+
+func (h *detailHeap) less(i, j int) bool {
 	return h.refs[i].WeightedAbs() < h.refs[j].WeightedAbs()
 }
-func (h *detailHeap) Swap(i, j int) { h.refs[i], h.refs[j] = h.refs[j], h.refs[i] }
-func (h *detailHeap) Push(x any)    { h.refs = append(h.refs, x.(DetailRef)) }
-func (h *detailHeap) Pop() any {
-	r := h.refs[len(h.refs)-1]
-	h.refs = h.refs[:len(h.refs)-1]
-	return r
+
+func (h *detailHeap) push(r DetailRef) {
+	h.refs = append(h.refs, r)
+	i := len(h.refs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.refs[i], h.refs[parent] = h.refs[parent], h.refs[i]
+		i = parent
+	}
+}
+
+func (h *detailHeap) down(i int) {
+	n := len(h.refs)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && h.less(r, l) {
+			least = r
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h.refs[i], h.refs[least] = h.refs[least], h.refs[i]
+		i = least
+	}
 }
 
 // CollectSink retains every coefficient (lossless); it is used by tests to
