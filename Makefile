@@ -1,21 +1,24 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-accuracy bench-micro vet
+.PHONY: build test test-short test-race bench bench-accuracy bench-micro bench-ingest bench-baseline vet
 
 build:
 	$(GO) build ./...
 
-test:
+# Default test flow runs vet first: cheap static checks before the suite.
+test: vet
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
 
-# Race coverage for the parallel evaluation harness: the worker pool itself
-# plus the concurrency/determinism tests over the singleflight sim cache.
+# Race coverage for the concurrent surfaces: the parallel evaluation
+# harness, the singleflight sim cache, and the sharded ingest front-end
+# (rings, shard workers, Seal barrier).
 test-race:
 	$(GO) test -race ./internal/parallel
 	$(GO) test -race ./internal/experiments -run TestParallel
+	$(GO) test -race ./internal/wavesketch -run 'TestSharded'
 
 vet:
 	$(GO) vet ./...
@@ -30,3 +33,22 @@ bench-accuracy:
 
 bench-micro:
 	$(GO) test -bench 'WaveletStreamPush|GroundTruthUpdate|EngineEventLoop' -benchtime 2s
+
+# Ingest datapath throughput (ns/op, Mpps, allocs). Pinned -benchtime and
+# -count so runs are comparable across commits; compares against the saved
+# baseline with benchstat when it is installed and a baseline exists
+# (create one with `make bench-baseline`).
+INGEST_BENCH = BasicUpdate|FullUpdate|BasicUpdateBatch|ShardedIngest
+bench-ingest:
+	$(GO) test -run XXX -bench '$(INGEST_BENCH)' -benchtime 2s -count 5 \
+		./internal/wavesketch | tee bench-ingest.txt
+	@if command -v benchstat >/dev/null 2>&1 && [ -f bench-ingest.base.txt ]; then \
+		benchstat bench-ingest.base.txt bench-ingest.txt; \
+	else \
+		echo "(benchstat or bench-ingest.base.txt missing — raw numbers above)"; \
+	fi
+
+# Save the current ingest numbers as the comparison baseline.
+bench-baseline:
+	$(GO) test -run XXX -bench '$(INGEST_BENCH)' -benchtime 2s -count 5 \
+		./internal/wavesketch | tee bench-ingest.base.txt

@@ -5,6 +5,7 @@ package flowkey
 
 import (
 	"fmt"
+	"math/bits"
 	"net/netip"
 )
 
@@ -76,6 +77,27 @@ func (k Key) Hash(seed uint64) uint64 {
 	h := mix64(a ^ seed)
 	h = mix64(h ^ b ^ (seed * 0x9e3779b97f4a7c15))
 	return h
+}
+
+// Hash128 mixes the key with the seed into two independent 64-bit digests
+// in a single pass. h1 is identical in strength to Hash; h2 costs one more
+// finalizer round instead of the two a second Hash call would spend. A
+// sketch can derive every row index plus a heavy-part index from one
+// Hash128 via double hashing (h1 + r·h2) instead of D+1 full hash calls.
+func (k Key) Hash128(seed uint64) (h1, h2 uint64) {
+	a, b := k.pack()
+	h1 = mix64(a ^ seed)
+	h1 = mix64(h1 ^ b ^ (seed * 0x9e3779b97f4a7c15))
+	h2 = mix64(h1 ^ a ^ 0xd6e8feb86659fd93)
+	return h1, h2
+}
+
+// FastRange maps a 64-bit hash uniformly onto [0, n) with a multiply-shift
+// (Lemire's fast alternative to the modulo reduction): the high word of
+// h×n. One multiply instead of a hardware divide on the per-packet path.
+func FastRange(h uint64, n uint64) uint64 {
+	hi, _ := bits.Mul64(h, n)
+	return hi
 }
 
 func mix64(z uint64) uint64 {

@@ -116,3 +116,78 @@ func TestRowHashIndependence(t *testing.T) {
 		t.Errorf("row-0 colliders concentrate in %d row-1 bins; rows are correlated", len(bins))
 	}
 }
+
+func TestHash128MatchesHashWord(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8, seed uint64) bool {
+		k := Key{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: proto}
+		h1, h2 := k.Hash128(seed)
+		// The first word is exactly Hash (one-hash callers keep the same
+		// digest strength), and both words are deterministic.
+		if h1 != k.Hash(seed) {
+			return false
+		}
+		r1, r2 := k.Hash128(seed)
+		return r1 == h1 && r2 == h2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHash128SecondWordUniformity(t *testing.T) {
+	// Double hashing indexes rows with h1 + r·h2: the second word must
+	// spread as well as the first over sequential key populations.
+	const keys, bins = 1 << 16, 256
+	counts := make([]int, bins)
+	for i := 0; i < keys; i++ {
+		k := Key{SrcIP: uint32(i), DstIP: 0x0a000001, SrcPort: uint16(i >> 4), DstPort: 4791, Proto: 17}
+		_, h2 := k.Hash128(7)
+		counts[h2%bins]++
+	}
+	mean := float64(keys) / bins
+	for b, c := range counts {
+		if float64(c) < mean*0.65 || float64(c) > mean*1.35 {
+			t.Errorf("bin %d count %d deviates from mean %.0f", b, c, mean)
+		}
+	}
+}
+
+func TestHash128WordsDecorrelated(t *testing.T) {
+	// Derived row indices (h1 + r·h2 mod W) must not collapse: for two rows
+	// the pairwise index collision rate over many keys should sit near the
+	// uniform 1/W, not far above it.
+	const n, width = 1 << 14, 256
+	same := 0
+	for i := 0; i < n; i++ {
+		k := Key{SrcIP: uint32(i * 13), DstIP: uint32(i), SrcPort: uint16(i), DstPort: 80, Proto: 6}
+		h1, h2 := k.Hash128(99)
+		if FastRange(h1, width) == FastRange(h1+(h2|1), width) {
+			same++
+		}
+	}
+	if rate := float64(same) / n; rate > 3.0/width {
+		t.Errorf("row 0/1 index collision rate %.4f, want ≈ 1/%d", rate, width)
+	}
+}
+
+func TestFastRange(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 7, 256, 1000} {
+		if got := FastRange(0, n); got != 0 {
+			t.Errorf("FastRange(0, %d) = %d", n, got)
+		}
+		if got := FastRange(^uint64(0), n); got != n-1 {
+			t.Errorf("FastRange(max, %d) = %d, want %d", n, got, n-1)
+		}
+	}
+	// Uniformity over a simple sweep.
+	counts := make([]int, 8)
+	for i := 0; i < 1<<14; i++ {
+		k := Key{SrcIP: uint32(i), DstIP: 1, SrcPort: 2, DstPort: 3, Proto: 6}
+		counts[FastRange(k.Hash(5), 8)]++
+	}
+	for b, c := range counts {
+		if c < (1<<14)/8*65/100 || c > (1<<14)/8*135/100 {
+			t.Errorf("FastRange bin %d count %d far from uniform", b, c)
+		}
+	}
+}

@@ -4,12 +4,21 @@ import (
 	"math"
 )
 
-// pendingDetail is the per-level partially-accumulated detail coefficient
-// (the `_details` array of Algorithm 1).
-type pendingDetail struct {
-	Index int
-	Val   int64
+// levelNode is the carry state of the frontier-path node at one level: the
+// node's index (frontier >> (level+1)) and the sums of the values pushed
+// into its left and right halves so far. The node's detail coefficient is
+// lsum-rsum and its total (propagated to the parent on completion) is
+// lsum+rsum.
+type levelNode struct {
+	idx  int
+	lsum int64
+	rsum int64
 }
+
+// inlineLevels is the decomposition depth covered by the Stream's inline
+// carry array. Depths up to inlineLevels (the paper uses L=8) need no
+// per-stream heap allocation, so a slab of Streams is a single allocation.
+const inlineLevels = 12
 
 // CoeffSink receives finished detail coefficients from a Stream. A sink
 // decides which coefficients to retain (the compression stage). Zero-valued
@@ -23,25 +32,72 @@ type CoeffSink interface {
 // coefficients are emitted to a CoeffSink as soon as they are complete.
 // Approximation coefficients at the deepest level are accumulated directly.
 //
-// The zero value is not usable; construct with NewStream.
+// Internally the transform runs as a binary-counter carry chain: each push
+// touches level 0 only, and a completed node's total carries into its
+// parent. A push therefore does amortized O(1) work regardless of the
+// decomposition depth, where the textbook formulation accumulates ±c into
+// every level's pending coefficient. The emitted coefficient sequence is
+// identical to the per-level formulation (TestStreamMatchesReference pins
+// this), so downstream top-K/threshold selection is unchanged.
+//
+// The zero value is not usable; construct with NewStream or Init.
 type Stream struct {
 	levels  int
 	approx  []int64
-	pending []pendingDetail
 	maxOff  int  // largest window offset seen so far
 	started bool // true once the first counter has been pushed
+
+	// nodes holds the frontier-path carry state for depths up to
+	// inlineLevels directly inside the struct, so buckets embedding a
+	// Stream by value keep their whole carry chain in one slab and the
+	// struct stays safe to copy. Deeper decompositions spill to ext.
+	nodes [inlineLevels]levelNode
+	ext   []levelNode
+}
+
+// nodeSlice returns the active per-level carry state. It is derived on
+// every call (never stored) so that value copies of a Stream remain
+// independent snapshots.
+func (s *Stream) nodeSlice() []levelNode {
+	if s.ext != nil {
+		return s.ext
+	}
+	return s.nodes[:s.levels]
 }
 
 // NewStream returns a streaming transformer decomposing over `levels`
 // levels. approxHint pre-sizes the approximation slice (n/2^levels entries
 // for an expected sequence length n); it may be 0.
 func NewStream(levels, approxHint int) *Stream {
-	s := &Stream{
-		levels:  levels,
-		pending: make([]pendingDetail, levels),
-		approx:  make([]int64, 0, approxHint),
-	}
+	s := new(Stream)
+	s.Init(levels, approxHint)
 	return s
+}
+
+// Init (re)initializes a Stream in place, allocating only when the depth
+// exceeds the inline capacity or when approxHint demands a larger
+// approximation array. It lets callers embed Streams by value in a
+// contiguous slab instead of chasing per-bucket pointers.
+func (s *Stream) Init(levels, approxHint int) {
+	s.levels = levels
+	if levels <= inlineLevels {
+		s.ext = nil
+	} else if cap(s.ext) >= levels {
+		s.ext = s.ext[:levels]
+	} else {
+		s.ext = make([]levelNode, levels)
+	}
+	nodes := s.nodeSlice()
+	for l := range nodes {
+		nodes[l] = levelNode{}
+	}
+	if cap(s.approx) < approxHint {
+		s.approx = make([]int64, 0, approxHint)
+	} else {
+		s.approx = s.approx[:0]
+	}
+	s.maxOff = 0
+	s.started = false
 }
 
 // Levels reports the decomposition depth L.
@@ -73,35 +129,75 @@ func (s *Stream) Push(i int, c int64, sink CoeffSink) {
 		}
 		return
 	}
-	s.started = true
-	s.maxOff = i
-
-	// Deepest-level approximation: window i contributes to sum i>>L.
-	posA := i >> s.levels
-	for len(s.approx) <= posA {
-		s.approx = append(s.approx, 0)
+	if !s.started {
+		s.started = true
+		s.maxOff = i
+		nodes := s.nodeSlice()
+		for l := range nodes {
+			nodes[l] = levelNode{idx: i >> (l + 1)}
+		}
+	} else {
+		o := s.maxOff
+		s.maxOff = i
+		if i>>1 != o>>1 {
+			s.advance(i, sink)
+		}
 	}
-	s.approx[posA] += c
 
-	// Each level's latest detail: flush it when the window has moved past
-	// the coefficient's span, then accumulate with the Haar sign.
-	for l := 0; l < s.levels; l++ {
-		posD := i >> (l + 1)
-		if posD > s.pending[l].Index {
-			s.flushLevel(l, sink)
-			s.pending[l] = pendingDetail{Index: posD}
+	// Keep len(approx) == maxOff>>L + 1, the same eager-growth invariant as
+	// accumulating per push (memory accounting reads the length mid-stream);
+	// values land when the covering depth-L subtree completes.
+	if posA := i >> s.levels; posA >= len(s.approx) {
+		for len(s.approx) <= posA {
+			s.approx = append(s.approx, 0)
 		}
-		if (i>>l)&1 == 0 {
-			s.pending[l].Val += c
-		} else {
-			s.pending[l].Val -= c
-		}
+	}
+
+	// The leaf itself only touches level 0; completions carry upward.
+	n0 := &s.nodeSlice()[0]
+	if i&1 == 0 {
+		n0.lsum += c
+	} else {
+		n0.rsum += c
 	}
 }
 
-func (s *Stream) flushLevel(l int, sink CoeffSink) {
-	if s.pending[l].Val != 0 && sink != nil {
-		sink.Offer(l, s.pending[l].Index, s.pending[l].Val)
+// advance completes every frontier-path node the frontier moves past on its
+// way to offset i: emit the node's detail, carry its total into the parent,
+// and restart the node at i's path. Skipped windows are implicitly zero, so
+// off-path nodes hold no state and need no work; the loop stops at the
+// first level whose node index is unchanged.
+func (s *Stream) advance(i int, sink CoeffSink) {
+	var carry int64
+	childIdx := 0
+	nodes := s.nodeSlice()
+	for l := 0; l < s.levels; l++ {
+		n := &nodes[l]
+		if l > 0 && carry != 0 {
+			if childIdx&1 == 0 {
+				n.lsum += carry
+			} else {
+				n.rsum += carry
+			}
+		}
+		newIdx := i >> (l + 1)
+		if newIdx == n.idx {
+			return
+		}
+		if d := n.lsum - n.rsum; d != 0 && sink != nil {
+			sink.Offer(l, n.idx, d)
+		}
+		carry = n.lsum + n.rsum
+		childIdx = n.idx
+		n.lsum, n.rsum = 0, 0
+		n.idx = newIdx
+	}
+	// The deepest node completed: its total is one approximation counter.
+	if carry != 0 {
+		for len(s.approx) <= childIdx {
+			s.approx = append(s.approx, 0)
+		}
+		s.approx[childIdx] += carry
 	}
 }
 
@@ -113,9 +209,30 @@ func (s *Stream) Finish(sink CoeffSink) int {
 	if !s.started {
 		return 0
 	}
+	var carry int64
+	childIdx := 0
+	nodes := s.nodeSlice()
 	for l := 0; l < s.levels; l++ {
-		s.flushLevel(l, sink)
-		s.pending[l].Val = 0
+		n := &nodes[l]
+		if l > 0 && carry != 0 {
+			if childIdx&1 == 0 {
+				n.lsum += carry
+			} else {
+				n.rsum += carry
+			}
+		}
+		if d := n.lsum - n.rsum; d != 0 && sink != nil {
+			sink.Offer(l, n.idx, d)
+		}
+		carry = n.lsum + n.rsum
+		childIdx = n.idx
+		n.lsum, n.rsum = 0, 0
+	}
+	if carry != 0 {
+		for len(s.approx) <= childIdx {
+			s.approx = append(s.approx, 0)
+		}
+		s.approx[childIdx] += carry
 	}
 	return padLen(s.maxOff+1, s.levels)
 }
@@ -123,8 +240,9 @@ func (s *Stream) Finish(sink CoeffSink) int {
 // Reset returns the stream to its initial state, keeping allocations.
 func (s *Stream) Reset() {
 	s.approx = s.approx[:0]
-	for l := range s.pending {
-		s.pending[l] = pendingDetail{}
+	nodes := s.nodeSlice()
+	for l := range nodes {
+		nodes[l] = levelNode{}
 	}
 	s.maxOff = 0
 	s.started = false

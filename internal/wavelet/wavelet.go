@@ -46,10 +46,24 @@ func (c *Coeffs) NumCoeffs() int {
 	return n
 }
 
+// weightTab caches Weight for every realistic level: the sketch ranks a
+// coefficient on every sink offer, and math.Pow is far too slow for that
+// hot path. Entries are produced by the exact same formula, so ranking is
+// bit-identical to computing Pow inline.
+var weightTab = func() (t [64]float64) {
+	for l := range t {
+		t[l] = math.Pow(2, -float64(l+1)/2)
+	}
+	return
+}()
+
 // Weight returns the orthonormal magnitude weight of a detail coefficient at
 // the given (0-indexed) level: 2^(-(level+1)/2). Ranking |d|·Weight(level)
 // and keeping the largest minimizes the L2 reconstruction error (Appendix A).
 func Weight(level int) float64 {
+	if uint(level) < uint(len(weightTab)) {
+		return weightTab[level]
+	}
 	return math.Pow(2, -float64(level+1)/2)
 }
 

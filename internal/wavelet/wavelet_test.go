@@ -426,3 +426,151 @@ func BenchmarkStreamPush(b *testing.B) {
 		st.Push(i, int64(i%97), sink)
 	}
 }
+
+// lazyRefStream is the pre-carry-chain streaming transform (per-level ±c
+// accumulation, flushed lazily when the window moves past each span),
+// preserved verbatim as the oracle for the carry-chain rewrite: the two
+// must emit the exact same coefficient sequence, in the same order, with
+// the same approximation contents, or downstream top-K tie-breaking (and
+// therefore every rendered figure) could silently drift.
+type lazyRefStream struct {
+	levels  int
+	approx  []int64
+	pending []struct {
+		Index int
+		Val   int64
+	}
+	maxOff  int
+	started bool
+}
+
+func newLazyRef(levels int) *lazyRefStream {
+	s := &lazyRefStream{levels: levels}
+	s.pending = make([]struct {
+		Index int
+		Val   int64
+	}, levels)
+	return s
+}
+
+func (s *lazyRefStream) Push(i int, c int64, sink CoeffSink) {
+	if s.started && i <= s.maxOff {
+		pos := i >> s.levels
+		if pos < len(s.approx) {
+			s.approx[pos] += c
+		}
+		return
+	}
+	s.started = true
+	s.maxOff = i
+	posA := i >> s.levels
+	for len(s.approx) <= posA {
+		s.approx = append(s.approx, 0)
+	}
+	s.approx[posA] += c
+	for l := 0; l < s.levels; l++ {
+		posD := i >> (l + 1)
+		if posD > s.pending[l].Index {
+			if s.pending[l].Val != 0 && sink != nil {
+				sink.Offer(l, s.pending[l].Index, s.pending[l].Val)
+			}
+			s.pending[l].Index, s.pending[l].Val = posD, 0
+		}
+		if (i>>l)&1 == 0 {
+			s.pending[l].Val += c
+		} else {
+			s.pending[l].Val -= c
+		}
+	}
+}
+
+func (s *lazyRefStream) Finish(sink CoeffSink) int {
+	if !s.started {
+		return 0
+	}
+	for l := 0; l < s.levels; l++ {
+		if s.pending[l].Val != 0 && sink != nil {
+			sink.Offer(l, s.pending[l].Index, s.pending[l].Val)
+		}
+		s.pending[l].Val = 0
+	}
+	return padLen(s.maxOff+1, s.levels)
+}
+
+// TestStreamMatchesReference drives the carry-chain Stream and the lazy
+// reference in lockstep over randomized gappy, occasionally out-of-order
+// sequences and requires the full observable behavior to match exactly:
+// offer order, offer values, approximation array, MaxOffset and the padded
+// length returned by Finish.
+func TestStreamMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		levels := 1 + rng.Intn(10)
+		st := NewStream(levels, rng.Intn(4))
+		ref := newLazyRef(levels)
+		var got, want CollectSink
+
+		off := 0
+		n := 1 + rng.Intn(200)
+		for p := 0; p < n; p++ {
+			var i int
+			if off > 0 && rng.Intn(10) == 0 {
+				i = rng.Intn(off + 1) // stale offset: absorbed into approx
+			} else {
+				step := 1
+				if rng.Intn(4) == 0 {
+					step += rng.Intn(1 << uint(rng.Intn(levels+2))) // jump a subtree
+				}
+				off += step
+				i = off
+			}
+			v := int64(rng.Intn(2000)) - 400 // include zeros and negatives
+			st.Push(i, v, &got)
+			ref.Push(i, v, &want)
+			if len(got.Refs) != len(want.Refs) {
+				t.Fatalf("trial %d push %d: %d offers vs reference %d", trial, p, len(got.Refs), len(want.Refs))
+			}
+		}
+		gotPad := st.Finish(&got)
+		wantPad := ref.Finish(&want)
+		if gotPad != wantPad {
+			t.Fatalf("trial %d: Finish = %d, reference %d", trial, gotPad, wantPad)
+		}
+		if !reflect.DeepEqual(got.Refs, want.Refs) {
+			t.Fatalf("trial %d: offer sequence diverged\n got %+v\nwant %+v", trial, got.Refs, want.Refs)
+		}
+		if !reflect.DeepEqual(st.Approx(), ref.approx) {
+			t.Fatalf("trial %d: approx %v, reference %v", trial, st.Approx(), ref.approx)
+		}
+		if st.MaxOffset() != ref.maxOff {
+			t.Fatalf("trial %d: MaxOffset %d, reference %d", trial, st.MaxOffset(), ref.maxOff)
+		}
+	}
+}
+
+// TestStreamInitReuse checks that Init restores a used stream to a clean
+// state without reallocating the inline carry array.
+func TestStreamInitReuse(t *testing.T) {
+	st := NewStream(4, 2)
+	var sink CollectSink
+	for i := 0; i < 37; i++ {
+		st.Push(i, int64(i%5), &sink)
+	}
+	st.Finish(&sink)
+	st.Init(6, 0)
+	if st.MaxOffset() != -1 || len(st.Approx()) != 0 || st.Levels() != 6 {
+		t.Fatal("Init did not reset stream state")
+	}
+	var after CollectSink
+	ref := newLazyRef(6)
+	var refSink CollectSink
+	for i := 0; i < 80; i++ {
+		st.Push(i, int64(i*3%7), &after)
+		ref.Push(i, int64(i*3%7), &refSink)
+	}
+	st.Finish(&after)
+	ref.Finish(&refSink)
+	if !reflect.DeepEqual(after.Refs, refSink.Refs) {
+		t.Fatalf("reused stream diverged from reference")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"umon/internal/flowkey"
+	"umon/internal/measure"
 )
 
 // Variant selects the compression stage implementation.
@@ -24,6 +25,25 @@ func (v Variant) String() string {
 	return "WaveSketch-Ideal"
 }
 
+// Indexing selects how a key is mapped to its D row buckets.
+type Indexing int
+
+const (
+	// IndexPerRow hashes the key once per row with a row-specific seed and
+	// reduces by modulo — the layout every figure of the paper evaluation
+	// was rendered with. It is the default so existing results stay
+	// byte-identical.
+	IndexPerRow Indexing = iota
+	// IndexOneHash derives all row indices (and, in the full version, the
+	// heavy-part index) from a single 128-bit hash by double hashing
+	// (h1 + r·h2) with a multiply-shift range reduction: one hash and zero
+	// divides per packet instead of D+1 hashes and D+1 divides. Bucket
+	// placement differs from IndexPerRow, so estimates differ within the
+	// usual Count-Min envelope (the ablation-indexing experiment tracks
+	// the accuracy delta).
+	IndexOneHash
+)
+
 // Config parameterizes a WaveSketch.
 type Config struct {
 	Rows   int // D: number of hash rows (paper default 3)
@@ -31,6 +51,10 @@ type Config struct {
 	Levels int // L: wavelet decomposition depth (paper default 8)
 	K      int // detail coefficients retained per bucket (32–256)
 	Seed   uint64
+
+	// Indexing gates the one-hash ingest datapath; the zero value keeps
+	// the paper-compatible per-row hashing.
+	Indexing Indexing
 
 	Variant Variant
 	// Hardware-variant thresholds on the shifted coefficient magnitude,
@@ -67,9 +91,13 @@ func (c *Config) newSink() coeffSink {
 
 // Basic is the basic-version WaveSketch (Figure 6): a D×W Count-Min array
 // of wavelet buckets. It implements measure.SeriesEstimator.
+//
+// The buckets live in one contiguous slab indexed r·W + w, so per-packet
+// updates walk cache-local state instead of chasing per-bucket pointers,
+// and building the array is a single allocation.
 type Basic struct {
 	cfg     Config
-	rows    [][]*Bucket
+	buckets []Bucket // slab: bucket (r, w) is buckets[r*cfg.Width+w]
 	seeds   []uint64
 	updates int64
 	sealed  bool
@@ -81,14 +109,13 @@ func NewBasic(cfg Config) (*Basic, error) {
 		return nil, err
 	}
 	s := &Basic{cfg: cfg}
-	s.rows = make([][]*Bucket, cfg.Rows)
+	s.buckets = make([]Bucket, cfg.Rows*cfg.Width)
+	for i := range s.buckets {
+		s.buckets[i].Init(cfg.Levels, cfg.newSink())
+	}
 	s.seeds = make([]uint64, cfg.Rows)
-	for r := range s.rows {
+	for r := range s.seeds {
 		s.seeds[r] = flowkey.RowSeed(cfg.Seed, r)
-		s.rows[r] = make([]*Bucket, cfg.Width)
-		for w := range s.rows[r] {
-			s.rows[r][w] = NewBucket(cfg.Levels, cfg.newSink())
-		}
 	}
 	return s, nil
 }
@@ -102,9 +129,51 @@ func (s *Basic) Config() Config { return s.cfg }
 // Update implements measure.SeriesEstimator.
 func (s *Basic) Update(f flowkey.Key, w int64, v int64) {
 	s.updates++
-	for r := range s.rows {
-		idx := f.Hash(s.seeds[r]) % uint64(s.cfg.Width)
-		s.rows[r][idx].Update(w, v)
+	if s.cfg.Indexing == IndexOneHash {
+		h1, h2 := f.Hash128(s.cfg.Seed)
+		s.updateOneHash(h1, h2, w, v)
+		return
+	}
+	width := uint64(s.cfg.Width)
+	for r, seed := range s.seeds {
+		idx := f.Hash(seed) % width
+		s.buckets[r*s.cfg.Width+int(idx)].Update(w, v)
+	}
+}
+
+// updateOneHash is the hashed-once row walk: double hashing h1 + r·h2
+// (h2 forced odd so consecutive rows never stride by zero) with a
+// multiply-shift reduction into each row's slab segment.
+func (s *Basic) updateOneHash(h1, h2 uint64, w int64, v int64) {
+	width := uint64(s.cfg.Width)
+	step := h2 | 1
+	h := h1
+	for base := 0; base < len(s.buckets); base += s.cfg.Width {
+		s.buckets[base+int(flowkey.FastRange(h, width))].Update(w, v)
+		h += step
+	}
+}
+
+// UpdateBatch implements measure.BatchUpdater: it is equivalent to calling
+// Update for every sample in slice order, with the per-call overhead
+// (interface dispatch, counter increments, config re-reads) paid once per
+// batch instead of once per packet. The batched path allocates nothing.
+func (s *Basic) UpdateBatch(batch []measure.Sample) {
+	s.updates += int64(len(batch))
+	if s.cfg.Indexing == IndexOneHash {
+		for i := range batch {
+			h1, h2 := batch[i].Key.Hash128(s.cfg.Seed)
+			s.updateOneHash(h1, h2, batch[i].Window, batch[i].Bytes)
+		}
+		return
+	}
+	width := uint64(s.cfg.Width)
+	for i := range batch {
+		sm := &batch[i]
+		for r, seed := range s.seeds {
+			idx := sm.Key.Hash(seed) % width
+			s.buckets[r*s.cfg.Width+int(idx)].Update(sm.Window, sm.Bytes)
+		}
 	}
 }
 
@@ -114,18 +183,25 @@ func (s *Basic) Seal() {
 		return
 	}
 	s.sealed = true
-	for r := range s.rows {
-		for _, b := range s.rows[r] {
-			b.Seal()
-		}
+	for i := range s.buckets {
+		s.buckets[i].Seal()
 	}
+}
+
+// bucketIndex returns the slab index of flow f's bucket in row r.
+func (s *Basic) bucketIndex(f flowkey.Key, r int) int {
+	if s.cfg.Indexing == IndexOneHash {
+		h1, h2 := f.Hash128(s.cfg.Seed)
+		return r*s.cfg.Width + int(flowkey.FastRange(h1+uint64(r)*(h2|1), uint64(s.cfg.Width)))
+	}
+	return r*s.cfg.Width + int(f.Hash(s.seeds[r])%uint64(s.cfg.Width))
 }
 
 // bucketsFor returns the D buckets flow f maps to.
 func (s *Basic) bucketsFor(f flowkey.Key) []*Bucket {
 	out := make([]*Bucket, s.cfg.Rows)
-	for r := range s.rows {
-		out[r] = s.rows[r][f.Hash(s.seeds[r])%uint64(s.cfg.Width)]
+	for r := range out {
+		out[r] = &s.buckets[s.bucketIndex(f, r)]
 	}
 	return out
 }
@@ -176,10 +252,8 @@ func minAcross(buckets []*Bucket, from, to int64, deduct [][]float64) []float64 
 // MemoryBytes implements measure.SeriesEstimator.
 func (s *Basic) MemoryBytes() int64 {
 	var total int64
-	for r := range s.rows {
-		for _, b := range s.rows[r] {
-			total += b.StateBytes(s.cfg.K)
-		}
+	for i := range s.buckets {
+		total += s.buckets[i].StateBytes(s.cfg.K)
 	}
 	return total
 }
@@ -187,10 +261,8 @@ func (s *Basic) MemoryBytes() int64 {
 // ReportBytes implements measure.SeriesEstimator.
 func (s *Basic) ReportBytes() int64 {
 	var total int64
-	for r := range s.rows {
-		for _, b := range s.rows[r] {
-			total += b.ReportBytes()
-		}
+	for i := range s.buckets {
+		total += s.buckets[i].ReportBytes()
 	}
 	return total
 }
@@ -202,9 +274,7 @@ func (s *Basic) Updates() int64 { return s.updates }
 func (s *Basic) Reset() {
 	s.sealed = false
 	s.updates = 0
-	for r := range s.rows {
-		for _, b := range s.rows[r] {
-			b.Reset()
-		}
+	for i := range s.buckets {
+		s.buckets[i].Reset()
 	}
 }

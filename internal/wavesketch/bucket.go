@@ -21,19 +21,37 @@ type coeffSink interface {
 // Bucket is one counter bucket of WaveSketch (Figure 6): an initial window
 // id w0, the in-flight window (offset i, count c), the streaming transform
 // state and the retained coefficient sets A and D.
+//
+// Buckets embed their transform state by value so a sketch can lay all of
+// its buckets out in one contiguous slab: the counting-stage fields and
+// the wavelet carry chain land in the same cache-line neighborhood, and
+// constructing D×W buckets costs one allocation instead of D×W pointer
+// chains.
 type Bucket struct {
 	w0     int64 // absolute window id of the first packet; -1 while empty
 	i      int   // current window offset relative to w0
 	c      int64 // current window byte/packet count
-	stream *wavelet.Stream
+	stream wavelet.Stream
 	sink   coeffSink
 	sealed bool
+}
+
+// Init prepares a (possibly slab-resident) bucket in place.
+func (b *Bucket) Init(levels int, sink coeffSink) {
+	b.w0 = -1
+	b.i = 0
+	b.c = 0
+	b.sealed = false
+	b.stream.Init(levels, 8)
+	b.sink = sink
 }
 
 // NewBucket builds a bucket decomposing over `levels` levels with the given
 // compression sink.
 func NewBucket(levels int, sink coeffSink) *Bucket {
-	return &Bucket{w0: -1, stream: wavelet.NewStream(levels, 8), sink: sink}
+	b := new(Bucket)
+	b.Init(levels, sink)
+	return b
 }
 
 // Empty reports whether the bucket has seen no packets.

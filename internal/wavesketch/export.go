@@ -22,18 +22,17 @@ type BucketExport struct {
 // sketch.
 func (s *Basic) Export() []BucketExport {
 	var out []BucketExport
-	for r := range s.rows {
-		for i, b := range s.rows[r] {
-			if b.Empty() {
-				continue
-			}
-			out = append(out, BucketExport{
-				Row: r, Index: i,
-				W0: b.W0(), Len: b.Len(),
-				Approx:  b.Approx(),
-				Details: b.Details(),
-			})
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		if b.Empty() {
+			continue
 		}
+		out = append(out, BucketExport{
+			Row: i / s.cfg.Width, Index: i % s.cfg.Width,
+			W0: b.W0(), Len: b.Len(),
+			Approx:  b.Approx(),
+			Details: b.Details(),
+		})
 	}
 	return out
 }

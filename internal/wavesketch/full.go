@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"umon/internal/flowkey"
+	"umon/internal/measure"
 )
 
 // FullConfig parameterizes the full version of WaveSketch (§4.2): a heavy
@@ -28,7 +29,7 @@ type heavySlot struct {
 	key    flowkey.Key
 	vote   int64
 	valid  bool
-	bucket *Bucket
+	bucket Bucket // slab-resident: the heavy part is one contiguous array
 }
 
 // Full is the full-version WaveSketch. It implements
@@ -52,7 +53,7 @@ func NewFull(cfg FullConfig) (*Full, error) {
 	f := &Full{cfg: cfg, light: light}
 	f.heavy = make([]heavySlot, cfg.HeavyRows)
 	for i := range f.heavy {
-		f.heavy[i].bucket = NewBucket(cfg.Light.Levels, cfg.Light.newSink())
+		f.heavy[i].bucket.Init(cfg.Light.Levels, cfg.Light.newSink())
 	}
 	return f, nil
 }
@@ -60,13 +61,48 @@ func NewFull(cfg FullConfig) (*Full, error) {
 // Name implements measure.SeriesEstimator.
 func (f *Full) Name() string { return f.cfg.Light.Variant.String() + "-Full" }
 
+// heavyIdx maps a key to its heavy slot. Each entry point (Update and the
+// query path) computes it exactly once and passes it down — the heavy-part
+// hash used to be recomputed by both. In one-hash mode the index is
+// derived from the second word of the same Hash128 that indexes the light
+// rows, so the whole full-version update costs a single hash.
+func (f *Full) heavyIdx(k flowkey.Key) int {
+	if f.cfg.Light.Indexing == IndexOneHash {
+		_, h2 := k.Hash128(f.cfg.Light.Seed)
+		return int(flowkey.FastRange(h2, uint64(len(f.heavy))))
+	}
+	return int(k.Hash(f.cfg.HeavySeed) % uint64(len(f.heavy)))
+}
+
 // Update implements measure.SeriesEstimator. Per §4.2, the light part is
 // updated for *every* packet (so evicting a heavy candidate loses nothing),
 // while the heavy slot tracks the current majority-vote candidate.
 func (f *Full) Update(k flowkey.Key, w int64, v int64) {
+	if f.cfg.Light.Indexing == IndexOneHash {
+		// One hash for the whole sketch: light rows from (h1, h2), heavy
+		// slot from h2.
+		h1, h2 := k.Hash128(f.cfg.Light.Seed)
+		f.light.updates++
+		f.light.updateOneHash(h1, h2, w, v)
+		f.updateHeavy(k, int(flowkey.FastRange(h2, uint64(len(f.heavy)))), w, v)
+		return
+	}
 	f.light.Update(k, w, v)
+	f.updateHeavy(k, f.heavyIdx(k), w, v)
+}
 
-	slot := &f.heavy[k.Hash(f.cfg.HeavySeed)%uint64(len(f.heavy))]
+// UpdateBatch implements measure.BatchUpdater; it is equivalent to calling
+// Update for every sample in slice order and allocates nothing.
+func (f *Full) UpdateBatch(batch []measure.Sample) {
+	for i := range batch {
+		sm := &batch[i]
+		f.Update(sm.Key, sm.Window, sm.Bytes)
+	}
+}
+
+// updateHeavy runs the majority-vote election on the slot at idx.
+func (f *Full) updateHeavy(k flowkey.Key, idx int, w int64, v int64) {
+	slot := &f.heavy[idx]
 	switch {
 	case !slot.valid:
 		slot.valid = true
@@ -107,7 +143,7 @@ func (f *Full) Seal() {
 
 // heavyFor returns the heavy slot currently owned by k, if any.
 func (f *Full) heavyFor(k flowkey.Key) *heavySlot {
-	slot := &f.heavy[k.Hash(f.cfg.HeavySeed)%uint64(len(f.heavy))]
+	slot := &f.heavy[f.heavyIdx(k)]
 	if slot.valid && slot.key == k {
 		return slot
 	}
@@ -208,12 +244,16 @@ func (f *Full) ReportBytes() int64 {
 	return total
 }
 
-// Reset clears both parts for a new measurement period.
+// Reset clears both parts for a new measurement period. Slots are reset in
+// place: heavy buckets are slab-resident values, never copied.
 func (f *Full) Reset() {
 	f.sealed = false
 	f.light.Reset()
 	for i := range f.heavy {
-		f.heavy[i] = heavySlot{bucket: f.heavy[i].bucket}
-		f.heavy[i].bucket.Reset()
+		slot := &f.heavy[i]
+		slot.key = flowkey.Key{}
+		slot.vote = 0
+		slot.valid = false
+		slot.bucket.Reset()
 	}
 }

@@ -1,0 +1,332 @@
+package wavesketch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"umon/internal/flowkey"
+	"umon/internal/measure"
+)
+
+// ShardedConfig parameterizes a sharded ingest front-end.
+type ShardedConfig struct {
+	// Shards is the number of independent sketch shards. Flows are
+	// partitioned across shards by a dedicated flow hash, so every update
+	// of a flow lands in the same shard and queries route to exactly one.
+	Shards int
+	// Producers is the number of concurrent ingest handles. 0 runs the
+	// front-end inline: Update feeds the owning shard synchronously on the
+	// caller's goroutine, with no rings and no workers — the sequential
+	// reference the concurrent modes are tested against.
+	Producers int
+	// RingSize is the per-(producer, shard) ring capacity; rounded up to a
+	// power of two. Default 1024.
+	RingSize int
+	// Batch is how many samples a shard worker drains from a ring per
+	// sweep (and the batch size handed to UpdateBatch). Default 256.
+	Batch int
+	// ShardSeed keys the flow→shard hash. It must differ from the sketch
+	// seeds so shard routing is independent of bucket placement.
+	ShardSeed uint64
+	// New builds one shard's sketch. Each shard owns a private slab, so
+	// workers never contend on sketch state.
+	New func(shard int) (measure.SeriesEstimator, error)
+}
+
+// DefaultSharded returns a front-end config with n shards over basic
+// sketches built from cfg (each shard gets a distinct seed offset so the
+// shards are independent sketches, not copies).
+func DefaultSharded(n int, cfg Config) ShardedConfig {
+	return ShardedConfig{
+		Shards:    n,
+		ShardSeed: 0x5a4d5eed ^ cfg.Seed,
+		New: func(shard int) (measure.SeriesEstimator, error) {
+			c := cfg
+			c.Seed = flowkey.RowSeed(cfg.Seed, shard+1)
+			return NewBasic(c)
+		},
+	}
+}
+
+// spscRing is a bounded single-producer single-consumer queue of samples.
+// head is only advanced by the consumer, tail only by the producer; the
+// atomic loads/stores give the consumer a happens-before edge on the
+// sample slots published before tail. head and tail live on separate
+// cache lines so the two sides do not false-share.
+type spscRing struct {
+	buf    []measure.Sample
+	mask   uint64
+	_      [40]byte
+	head   atomic.Uint64 // next slot to read (consumer-owned)
+	_      [56]byte
+	tail   atomic.Uint64 // next slot to write (producer-owned)
+	_      [56]byte
+	closed atomic.Bool
+}
+
+func newSPSCRing(size int) *spscRing {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &spscRing{buf: make([]measure.Sample, n), mask: uint64(n - 1)}
+}
+
+// push enqueues one sample, spinning (with Gosched) while the ring is
+// full — bounded rings mean a slow shard back-pressures its producers
+// instead of growing without limit.
+func (r *spscRing) push(s measure.Sample) {
+	t := r.tail.Load()
+	for t-r.head.Load() > r.mask {
+		runtime.Gosched()
+	}
+	r.buf[t&r.mask] = s
+	r.tail.Store(t + 1)
+}
+
+// drain moves up to len(dst) samples into dst and returns the count.
+func (r *spscRing) drain(dst []measure.Sample) int {
+	h := r.head.Load()
+	n := r.tail.Load() - h
+	if n == 0 {
+		return 0
+	}
+	if n > uint64(len(dst)) {
+		n = uint64(len(dst))
+	}
+	for i := uint64(0); i < n; i++ {
+		dst[i] = r.buf[(h+i)&r.mask]
+	}
+	r.head.Store(h + n)
+	return int(n)
+}
+
+func (r *spscRing) doneFor() bool {
+	return r.closed.Load() && r.tail.Load() == r.head.Load()
+}
+
+// Producer is one concurrent ingest handle of a ShardedIngest. A Producer
+// must be used from a single goroutine; distinct Producers are safe
+// concurrently. Close flushes nothing (pushes are immediate) but marks the
+// handle's rings drained-when-empty so Seal can complete.
+type Producer struct {
+	ing   *ShardedIngest
+	rings []*spscRing // one per shard
+}
+
+// Update routes one sample to its flow's shard ring.
+func (p *Producer) Update(k flowkey.Key, w int64, v int64) {
+	p.rings[p.ing.shardOf(k)].push(measure.Sample{Key: k, Window: w, Bytes: v})
+}
+
+// UpdateBatch routes a batch of samples, preserving slice order per shard.
+func (p *Producer) UpdateBatch(batch []measure.Sample) {
+	for i := range batch {
+		p.rings[p.ing.shardOf(batch[i].Key)].push(batch[i])
+	}
+}
+
+// Close marks the producer finished. Idempotent.
+func (p *Producer) Close() {
+	for _, r := range p.rings {
+		r.closed.Store(true)
+	}
+}
+
+// ShardedIngest partitions flows across N independent sketch shards and,
+// in concurrent mode, feeds each shard from bounded per-(producer, shard)
+// SPSC rings drained by one worker goroutine per shard. Because a flow's
+// updates always traverse the same (producer, shard) ring in FIFO order,
+// a single-producer run is fully deterministic and produces estimates
+// identical to the inline (Producers=0) mode. It implements
+// measure.SeriesEstimator; queries are only valid after Seal.
+type ShardedIngest struct {
+	cfg    ShardedConfig
+	shards []measure.SeriesEstimator
+	// producers[p].rings[s] is the SPSC ring from producer p to shard s.
+	producers []*Producer
+	counts    []int64 // per-shard samples ingested; worker-owned until Seal
+	wg        sync.WaitGroup
+	sealed    bool
+}
+
+// NewSharded builds the front-end and, in concurrent mode, starts one
+// worker goroutine per shard.
+func NewSharded(cfg ShardedConfig) (*ShardedIngest, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("wavesketch: need Shards ≥ 1, got %d", cfg.Shards)
+	}
+	if cfg.Producers < 0 {
+		return nil, fmt.Errorf("wavesketch: need Producers ≥ 0, got %d", cfg.Producers)
+	}
+	if cfg.New == nil {
+		return nil, fmt.Errorf("wavesketch: ShardedConfig.New is required")
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 1024
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 256
+	}
+	g := &ShardedIngest{cfg: cfg}
+	g.shards = make([]measure.SeriesEstimator, cfg.Shards)
+	for i := range g.shards {
+		est, err := cfg.New(i)
+		if err != nil {
+			return nil, err
+		}
+		g.shards[i] = est
+	}
+	g.counts = make([]int64, cfg.Shards)
+	g.producers = make([]*Producer, cfg.Producers)
+	for p := range g.producers {
+		rings := make([]*spscRing, cfg.Shards)
+		for s := range rings {
+			rings[s] = newSPSCRing(cfg.RingSize)
+		}
+		g.producers[p] = &Producer{ing: g, rings: rings}
+	}
+	for s := 0; s < cfg.Shards && cfg.Producers > 0; s++ {
+		g.wg.Add(1)
+		go g.work(s)
+	}
+	return g, nil
+}
+
+// shardOf routes a flow to its owning shard.
+func (g *ShardedIngest) shardOf(k flowkey.Key) int {
+	if len(g.shards) == 1 {
+		return 0
+	}
+	return int(flowkey.FastRange(k.Hash(g.cfg.ShardSeed), uint64(len(g.shards))))
+}
+
+// Producer returns ingest handle p (0 ≤ p < cfg.Producers).
+func (g *ShardedIngest) Producer(p int) *Producer { return g.producers[p] }
+
+// Shard exposes shard s's sketch — for post-Seal inspection only.
+func (g *ShardedIngest) Shard(s int) measure.SeriesEstimator { return g.shards[s] }
+
+// work drains every producer's ring for one shard into a scratch batch and
+// feeds the shard sketch. It exits once all rings are closed and empty.
+// The shard sketch and counts[shard] are touched only here until Seal's
+// wg.Wait, so post-Seal reads need no atomics.
+func (g *ShardedIngest) work(shard int) {
+	defer g.wg.Done()
+	scratch := make([]measure.Sample, g.cfg.Batch)
+	est := g.shards[shard]
+	rings := make([]*spscRing, len(g.producers))
+	for p := range g.producers {
+		rings[p] = g.producers[p].rings[shard]
+	}
+	open := len(rings)
+	for open > 0 {
+		idle := true
+		for p, r := range rings {
+			if r == nil {
+				continue
+			}
+			if n := r.drain(scratch); n > 0 {
+				measure.UpdateAll(est, scratch[:n])
+				g.counts[shard] += int64(n)
+				idle = false
+			} else if r.doneFor() {
+				rings[p] = nil
+				open--
+			}
+		}
+		if idle {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Name implements measure.SeriesEstimator.
+func (g *ShardedIngest) Name() string {
+	if len(g.shards) == 0 {
+		return "Sharded"
+	}
+	return fmt.Sprintf("Sharded×%d(%s)", len(g.shards), g.shards[0].Name())
+}
+
+// Update implements measure.SeriesEstimator. In inline mode it feeds the
+// owning shard synchronously; in concurrent mode it forwards to producer 0
+// (a convenience for single-producer callers — concurrent callers must use
+// distinct Producer handles).
+func (g *ShardedIngest) Update(k flowkey.Key, w int64, v int64) {
+	if g.cfg.Producers == 0 {
+		s := g.shardOf(k)
+		g.shards[s].Update(k, w, v)
+		g.counts[s]++
+		return
+	}
+	g.producers[0].Update(k, w, v)
+}
+
+// UpdateBatch implements measure.BatchUpdater with the same routing rules
+// as Update.
+func (g *ShardedIngest) UpdateBatch(batch []measure.Sample) {
+	if g.cfg.Producers == 0 {
+		for i := range batch {
+			s := g.shardOf(batch[i].Key)
+			g.shards[s].Update(batch[i].Key, batch[i].Window, batch[i].Bytes)
+			g.counts[s]++
+		}
+		return
+	}
+	g.producers[0].UpdateBatch(batch)
+}
+
+// Seal implements measure.SeriesEstimator: it closes every producer, waits
+// for the shard workers to drain all rings (the barrier that makes all
+// shard state visible to the sealing goroutine), then seals the shards.
+func (g *ShardedIngest) Seal() {
+	if g.sealed {
+		return
+	}
+	g.sealed = true
+	for _, p := range g.producers {
+		p.Close()
+	}
+	g.wg.Wait()
+	for _, s := range g.shards {
+		s.Seal()
+	}
+}
+
+// QueryRange implements measure.SeriesEstimator by routing to the flow's
+// owning shard.
+func (g *ShardedIngest) QueryRange(k flowkey.Key, from, to int64) []float64 {
+	return g.shards[g.shardOf(k)].QueryRange(k, from, to)
+}
+
+// MemoryBytes implements measure.SeriesEstimator (sum over shards).
+func (g *ShardedIngest) MemoryBytes() int64 {
+	var t int64
+	for _, s := range g.shards {
+		t += s.MemoryBytes()
+	}
+	return t
+}
+
+// ReportBytes implements measure.SeriesEstimator (sum over shards).
+func (g *ShardedIngest) ReportBytes() int64 {
+	var t int64
+	for _, s := range g.shards {
+		t += s.ReportBytes()
+	}
+	return t
+}
+
+// Updates reports the total samples ingested across shards. Only valid
+// after Seal in concurrent mode (the counters are worker-owned until the
+// Seal barrier).
+func (g *ShardedIngest) Updates() int64 {
+	var t int64
+	for _, c := range g.counts {
+		t += c
+	}
+	return t
+}

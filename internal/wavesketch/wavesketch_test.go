@@ -438,32 +438,6 @@ func TestMemoryGrowsWithK(t *testing.T) {
 	}
 }
 
-func BenchmarkBasicUpdate(b *testing.B) {
-	s, _ := NewBasic(Default(64))
-	keys := make([]flowkey.Key, 64)
-	for i := range keys {
-		keys[i] = key(i)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.Update(keys[i%len(keys)], int64(i/len(keys)), 1500)
-	}
-}
-
-func BenchmarkFullUpdate(b *testing.B) {
-	s, _ := NewFull(DefaultFull())
-	keys := make([]flowkey.Key, 64)
-	for i := range keys {
-		keys[i] = key(i)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.Update(keys[i%len(keys)], int64(i/len(keys)), 1500)
-	}
-}
-
 func TestFullMidFlowElectionStitchesEarlyWindows(t *testing.T) {
 	// A flow that becomes heavy only at window 100 (after an earlier
 	// occupant is evicted) must still answer its early windows from the

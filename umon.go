@@ -283,3 +283,45 @@ func NewAggregator(inner measure.SeriesEstimator, lines int) *Aggregator {
 
 // SeriesEstimator is the interface all measurement schemes implement.
 type SeriesEstimator = measure.SeriesEstimator
+
+// --- high-throughput ingest datapath ---
+
+// Sample is one (flow, window, bytes) update in batch form.
+type Sample = measure.Sample
+
+// BatchUpdater is implemented by estimators with a dedicated batch ingest
+// path (both sketch versions and the sharded front-end implement it).
+type BatchUpdater = measure.BatchUpdater
+
+// UpdateAll feeds a batch through an estimator's batch path when it has
+// one, and sample-by-sample otherwise.
+func UpdateAll(e SeriesEstimator, batch []Sample) { measure.UpdateAll(e, batch) }
+
+// Row-indexing modes for SketchConfig.Indexing.
+const (
+	// IndexPerRow hashes once per row (the paper-compatible default).
+	IndexPerRow = wavesketch.IndexPerRow
+	// IndexOneHash derives all row indices from a single 128-bit hash —
+	// the fast ingest path; placement differs from IndexPerRow within the
+	// usual Count-Min accuracy envelope.
+	IndexOneHash = wavesketch.IndexOneHash
+)
+
+// ShardedIngest partitions flows across independent sketch shards fed by
+// bounded per-producer rings — the concurrent ingest front-end.
+type ShardedIngest = wavesketch.ShardedIngest
+
+// ShardedConfig parameterizes a sharded ingest front-end.
+type ShardedConfig = wavesketch.ShardedConfig
+
+// IngestProducer is one single-goroutine ingest handle of a ShardedIngest.
+type IngestProducer = wavesketch.Producer
+
+// NewShardedIngest builds a sharded front-end (and starts its shard
+// workers when cfg.Producers > 0).
+func NewShardedIngest(cfg ShardedConfig) (*ShardedIngest, error) { return wavesketch.NewSharded(cfg) }
+
+// DefaultShardedIngest shards basic sketches built from cfg n ways.
+func DefaultShardedIngest(n int, cfg SketchConfig) ShardedConfig {
+	return wavesketch.DefaultSharded(n, cfg)
+}
