@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-accuracy bench-micro bench-ingest bench-baseline vet
+.PHONY: build test test-short test-race bench bench-accuracy bench-micro bench-ingest bench-baseline bench-query bench-query-baseline vet
 
 build:
 	$(GO) build ./...
@@ -13,12 +13,15 @@ test-short:
 	$(GO) test -short ./...
 
 # Race coverage for the concurrent surfaces: the parallel evaluation
-# harness, the singleflight sim cache, and the sharded ingest front-end
-# (rings, shard workers, Seal barrier).
+# harness, the singleflight sim cache, the sharded ingest front-end
+# (rings, shard workers, Seal barrier), and the analyzer query plane
+# (memoized reconstruction caches, routing index, parallel replay).
 test-race:
 	$(GO) test -race ./internal/parallel
 	$(GO) test -race ./internal/experiments -run TestParallel
 	$(GO) test -race ./internal/wavesketch -run 'TestSharded'
+	$(GO) test -race ./internal/report -run 'TestQueryable'
+	$(GO) test -race ./internal/analyzer -run 'TestAnalyzerConcurrent|TestDetectEventsIncremental'
 
 vet:
 	$(GO) vet ./...
@@ -52,3 +55,21 @@ bench-ingest:
 bench-baseline:
 	$(GO) test -run XXX -bench '$(INGEST_BENCH)' -benchtime 2s -count 5 \
 		./internal/wavesketch | tee bench-ingest.base.txt
+
+# Query-plane latency (ns/op, allocs): report-side range queries and light
+# estimation plus full analyzer event replay. Same benchstat-compatible
+# shape as bench-ingest (create a baseline with `make bench-query-baseline`).
+QUERY_BENCH = QueryRange|LightEstimate|NewQueryable|Replay
+bench-query:
+	$(GO) test -run XXX -bench '$(QUERY_BENCH)' -benchtime 2s -count 5 \
+		./internal/report ./internal/analyzer | tee bench-query.txt
+	@if command -v benchstat >/dev/null 2>&1 && [ -f bench-query.base.txt ]; then \
+		benchstat bench-query.base.txt bench-query.txt; \
+	else \
+		echo "(benchstat or bench-query.base.txt missing — raw numbers above)"; \
+	fi
+
+# Save the current query-plane numbers as the comparison baseline.
+bench-query-baseline:
+	$(GO) test -run XXX -bench '$(QUERY_BENCH)' -benchtime 2s -count 5 \
+		./internal/report ./internal/analyzer | tee bench-query.base.txt

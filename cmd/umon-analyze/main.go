@@ -6,6 +6,10 @@
 // Usage:
 //
 //	umon-analyze -mirrors out/mirrors.pcap -reports out/ [-gap-us 50] [-top 10]
+//	             [-workers N]
+//
+// Reports are decoded and indexed in parallel and handed to the analyzer
+// in path order, so the output is identical at any worker count.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 
 	"umon/internal/analyzer"
 	"umon/internal/measure"
+	"umon/internal/parallel"
 	"umon/internal/pcapio"
 	"umon/internal/report"
 )
@@ -29,7 +34,12 @@ func main() {
 	gapUs := flag.Int64("gap-us", 50, "event clustering gap in microseconds")
 	top := flag.Int("top", 10, "events to list")
 	replayMarginUs := flag.Int64("replay-margin-us", 250, "replay margin around the event")
+	workers := flag.Int("workers", 0, "worker-pool width for decode/replay (0: UMON_WORKERS or GOMAXPROCS)")
 	flag.Parse()
+
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	if *mirrors == "" {
 		flag.Usage()
@@ -71,16 +81,28 @@ func run(mirrorPath, reportDir string, gapNs int64, top int, replayMarginNs int6
 			return err
 		}
 		sort.Strings(entries)
-		for _, path := range entries {
-			raw, err := os.ReadFile(path)
+		// Decode and index the reports in parallel (building the query
+		// indexes — colocation, routing bitmaps — is per-report work), then
+		// hand them to the analyzer in path order so its routing index is
+		// deterministic.
+		queryables := make([]*report.Queryable, len(entries))
+		err = parallel.ForEachErr(len(entries), func(i int) error {
+			raw, err := os.ReadFile(entries[i])
 			if err != nil {
 				return err
 			}
 			rep, err := report.Decode(bytes.NewReader(raw))
 			if err != nil {
-				return fmt.Errorf("decoding %s: %w", path, err)
+				return fmt.Errorf("decoding %s: %w", entries[i], err)
 			}
-			a.AddReport(rep)
+			queryables[i] = report.NewQueryable(rep)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, q := range queryables {
+			a.AddQueryable(q)
 		}
 		fmt.Printf("reports       %d ingested from %s\n", len(entries), reportDir)
 	}

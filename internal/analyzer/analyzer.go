@@ -3,6 +3,14 @@
 // switches, aligns them on the synchronized timeline, clusters mirrors into
 // congestion events, and replays events by querying the rate curves of the
 // flows involved around the event window — the Figure 10 workflow.
+//
+// The query plane is indexed so replay scales with the event, not the
+// deployment: a flow→report routing index (heavy membership plus per-report
+// non-empty-bucket bitmaps) sends each query only to the reports that can
+// answer it, mirrors fold into per-port events as they arrive (DetectEvents
+// snapshots instead of re-sorting), and Replay fans the event's flows out
+// over the worker pool. Ingest everything first, then query; queries are
+// safe to run concurrently.
 package analyzer
 
 import (
@@ -13,6 +21,7 @@ import (
 	"umon/internal/measure"
 	"umon/internal/netsim"
 	"umon/internal/packet"
+	"umon/internal/parallel"
 	"umon/internal/report"
 	"umon/internal/uevent"
 )
@@ -41,7 +50,14 @@ func (e *Event) String() string {
 // Analyzer accumulates measurement inputs.
 type Analyzer struct {
 	reports []*report.Queryable
-	mirrors []uevent.MirrorRecord
+	// heavyReports routes a flow to the reports that carry a dedicated
+	// heavy entry for it (ascending report positions, by construction).
+	heavyReports map[flowkey.Key][]int
+	// clusters folds the mirror stream into per-port events as it arrives.
+	clusters    map[netsim.PortID]*portClusterer
+	mirrorCount int
+	// gapNs is the clustering gap the incremental state was built under.
+	gapNs int64
 	// offsets holds per-switch clock offset estimates subtracted from
 	// mirror timestamps (from the time-sync deployment); nil means
 	// already-aligned clocks.
@@ -50,7 +66,12 @@ type Analyzer struct {
 
 // New returns an empty analyzer.
 func New() *Analyzer {
-	return &Analyzer{switchOffsets: make(map[int16]int64)}
+	return &Analyzer{
+		heavyReports:  make(map[flowkey.Key][]int),
+		clusters:      make(map[netsim.PortID]*portClusterer),
+		gapNs:         defaultGapNs,
+		switchOffsets: make(map[int16]int64),
+	}
 }
 
 // SetSwitchOffset registers a clock-offset estimate for one switch.
@@ -58,17 +79,38 @@ func (a *Analyzer) SetSwitchOffset(sw int16, offsetNs int64) {
 	a.switchOffsets[sw] = offsetNs
 }
 
-// AddReport ingests one host's decoded WaveSketch report.
+// AddReport ingests one host's decoded WaveSketch report and indexes its
+// heavy flows for query routing.
 func (a *Analyzer) AddReport(r *report.HostReport) {
-	a.reports = append(a.reports, report.NewQueryable(r))
+	a.AddQueryable(report.NewQueryable(r))
 }
 
-// AddMirror ingests one mirror record.
+// AddQueryable ingests an already-indexed report (reports can be decoded
+// and indexed in parallel, then handed over in deterministic order).
+func (a *Analyzer) AddQueryable(q *report.Queryable) {
+	pos := len(a.reports)
+	a.reports = append(a.reports, q)
+	for _, f := range q.HeavyFlows() {
+		a.heavyReports[f] = append(a.heavyReports[f], pos)
+	}
+}
+
+// Reports reports how many host reports have been ingested.
+func (a *Analyzer) Reports() int { return len(a.reports) }
+
+// AddMirror ingests one mirror record, folding it into the per-port event
+// clusters.
 func (a *Analyzer) AddMirror(m uevent.MirrorRecord) {
 	if off, ok := a.switchOffsets[m.Port.Switch]; ok && off != 0 {
 		m.TimestampNs -= off
 	}
-	a.mirrors = append(a.mirrors, m)
+	p := a.clusters[m.Port]
+	if p == nil {
+		p = &portClusterer{port: m.Port}
+		a.clusters[m.Port] = p
+	}
+	p.add(m, a.gapNs)
+	a.mirrorCount++
 }
 
 // AddMirrors ingests a batch.
@@ -100,46 +142,28 @@ func (a *Analyzer) AddMirrorPacket(b []byte) error {
 }
 
 // Mirrors reports how many mirror records have been ingested.
-func (a *Analyzer) Mirrors() int { return len(a.mirrors) }
+func (a *Analyzer) Mirrors() int { return a.mirrorCount }
 
-// DetectEvents clusters the mirrors per port: observations separated by
-// less than gapNs belong to one event. Typical gapNs is a few tens of
-// microseconds — queues drain within that once marking stops.
+// DetectEvents returns the per-port mirror clusters: observations separated
+// by less than gapNs belong to one event. Typical gapNs is a few tens of
+// microseconds — queues drain within that once marking stops. Clustering is
+// incremental: mirrors that arrived in timestamp order are already folded
+// into events, so this call only seals a snapshot and sorts the (far
+// smaller) event list. Passing a different gap than the previous call
+// rebuilds the per-port state under the new gap.
 func (a *Analyzer) DetectEvents(gapNs int64) []Event {
 	if gapNs <= 0 {
-		gapNs = 50_000
+		gapNs = defaultGapNs
 	}
-	perPort := make(map[netsim.PortID][]uevent.MirrorRecord)
-	for _, m := range a.mirrors {
-		perPort[m.Port] = append(perPort[m.Port], m)
+	if gapNs != a.gapNs {
+		a.gapNs = gapNs
+		for _, p := range a.clusters {
+			p.rebuild(gapNs)
+		}
 	}
 	var events []Event
-	for port, ms := range perPort {
-		sort.Slice(ms, func(i, j int) bool { return ms[i].TimestampNs < ms[j].TimestampNs })
-		var cur *Event
-		flowPkts := make(map[flowkey.Key]int)
-		flush := func() {
-			if cur == nil {
-				return
-			}
-			cur.Flows = rankFlows(flowPkts)
-			events = append(events, *cur)
-			cur = nil
-			clear(flowPkts)
-		}
-		for _, m := range ms {
-			if cur != nil && m.TimestampNs-cur.EndNs > gapNs {
-				flush()
-			}
-			if cur == nil {
-				cur = &Event{Port: port, StartNs: m.TimestampNs, EndNs: m.TimestampNs}
-			}
-			cur.EndNs = m.TimestampNs
-			cur.Packets++
-			cur.Bytes += int64(m.OrigBytes)
-			flowPkts[m.Flow]++
-		}
-		flush()
+	for _, p := range a.clusters {
+		events = p.events(events, a.gapNs)
 	}
 	sort.Slice(events, func(i, j int) bool {
 		if events[i].StartNs != events[j].StartNs {
@@ -180,16 +204,18 @@ func rankFlows(pkts map[flowkey.Key]int) []flowkey.Key {
 }
 
 // QueryFlow estimates flow f's per-window byte counts over [from, to)
-// windows by merging all host reports: a flow is measured at its sender,
-// so the maximum across reports selects the one that actually saw it while
-// staying robust to empty reports.
+// windows by merging the host reports that plausibly saw the flow (a flow
+// is measured at its sender, so the maximum across reports selects the one
+// that actually saw it while staying robust to empty reports). The routing
+// index skips reports whose estimate is provably zero, so the cost scales
+// with the flow's footprint, not the deployment size.
 func (a *Analyzer) QueryFlow(f flowkey.Key, from, to int64) []float64 {
 	if to < from {
 		to = from
 	}
 	out := make([]float64, to-from)
-	for _, q := range a.reports {
-		cur := q.QueryRange(f, from, to)
+	for _, ri := range a.routeFlow(f, nil) {
+		cur := a.reports[ri].QueryRange(f, from, to)
 		for i, v := range cur {
 			if v > out[i] {
 				out[i] = v
@@ -211,7 +237,9 @@ type ReplayView struct {
 
 // Replay queries every flow involved in the event over the event span
 // extended by marginNs on both sides (§6.1: "the rate of several windows
-// before and after the event can be queried").
+// before and after the event can be queried"). The per-flow queries fan
+// out over the worker pool; results are collected index-addressed, so the
+// view is identical at any pool width.
 func (a *Analyzer) Replay(ev Event, marginNs int64) *ReplayView {
 	from := measure.WindowOf(ev.StartNs-marginNs) - 1
 	if from < 0 {
@@ -224,8 +252,12 @@ func (a *Analyzer) Replay(ev Event, marginNs int64) *ReplayView {
 		Windows:     int(to - from),
 		Curves:      make(map[flowkey.Key][]float64, len(ev.Flows)),
 	}
-	for _, f := range ev.Flows {
-		view.Curves[f] = a.QueryFlow(f, from, to)
+	curves := make([][]float64, len(ev.Flows))
+	parallel.ForEach(len(ev.Flows), func(i int) {
+		curves[i] = a.QueryFlow(ev.Flows[i], from, to)
+	})
+	for i, f := range ev.Flows {
+		view.Curves[f] = curves[i]
 	}
 	return view
 }

@@ -1,0 +1,96 @@
+package analyzer
+
+import (
+	"umon/internal/flowkey"
+	"umon/internal/netsim"
+	"umon/internal/uevent"
+)
+
+// defaultGapNs is the event clustering gap when the caller passes none:
+// queues drain within a few tens of microseconds once marking stops.
+const defaultGapNs = 50_000
+
+// portClusterer folds one port's mirror stream into congestion events
+// incrementally: records appended in timestamp order extend or seal the
+// open event as they arrive, so DetectEvents only snapshots state instead
+// of re-sorting every mirror. Out-of-order appends and gap changes fall
+// back to a per-port rebuild from the retained records.
+type portClusterer struct {
+	port netsim.PortID
+	// recs retains the port's records for rebuilds (out-of-order input or
+	// a changed clustering gap) and for imbalance accounting.
+	recs     []uevent.MirrorRecord
+	unsorted bool
+
+	sealed    []Event
+	open      Event
+	openValid bool
+	openFlows map[flowkey.Key]int
+}
+
+func (p *portClusterer) add(m uevent.MirrorRecord, gapNs int64) {
+	if n := len(p.recs); n > 0 && m.TimestampNs < p.recs[n-1].TimestampNs {
+		p.unsorted = true
+	}
+	p.recs = append(p.recs, m)
+	if p.unsorted {
+		return
+	}
+	p.fold(m, gapNs)
+}
+
+// fold extends the open event with one in-order record, sealing first if
+// the record falls beyond the clustering gap.
+func (p *portClusterer) fold(m uevent.MirrorRecord, gapNs int64) {
+	if p.openValid && m.TimestampNs-p.open.EndNs > gapNs {
+		p.seal()
+	}
+	if !p.openValid {
+		p.openValid = true
+		p.open = Event{Port: p.port, StartNs: m.TimestampNs, EndNs: m.TimestampNs}
+		if p.openFlows == nil {
+			p.openFlows = make(map[flowkey.Key]int)
+		}
+	}
+	p.open.EndNs = m.TimestampNs
+	p.open.Packets++
+	p.open.Bytes += int64(m.OrigBytes)
+	p.openFlows[m.Flow]++
+}
+
+func (p *portClusterer) seal() {
+	p.open.Flows = rankFlows(p.openFlows)
+	p.sealed = append(p.sealed, p.open)
+	p.openValid = false
+	clear(p.openFlows)
+}
+
+// rebuild re-sorts the retained records and re-folds them under gapNs.
+func (p *portClusterer) rebuild(gapNs int64) {
+	uevent.SortByTime(p.recs)
+	p.unsorted = false
+	p.sealed = p.sealed[:0]
+	p.openValid = false
+	if p.openFlows != nil {
+		clear(p.openFlows)
+	}
+	for _, m := range p.recs {
+		p.fold(m, gapNs)
+	}
+}
+
+// events appends the port's events — the sealed ones plus a snapshot of
+// the open one — without disturbing the incremental state, so later
+// mirrors can still extend the open event.
+func (p *portClusterer) events(dst []Event, gapNs int64) []Event {
+	if p.unsorted {
+		p.rebuild(gapNs)
+	}
+	dst = append(dst, p.sealed...)
+	if p.openValid {
+		ev := p.open
+		ev.Flows = rankFlows(p.openFlows)
+		dst = append(dst, ev)
+	}
+	return dst
+}

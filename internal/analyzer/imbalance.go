@@ -57,13 +57,13 @@ func (a *Analyzer) DetectImbalanceWithPorts(minRecords int, minScore float64, po
 		minScore = 2
 	}
 	perSwitch := make(map[int16]map[int16]int)
-	for _, m := range a.mirrors {
-		ports := perSwitch[m.Port.Switch]
+	for port, p := range a.clusters {
+		ports := perSwitch[port.Switch]
 		if ports == nil {
 			ports = make(map[int16]int)
-			perSwitch[m.Port.Switch] = ports
+			perSwitch[port.Switch] = ports
 		}
-		ports[m.Port.Port]++
+		ports[port.Port] += len(p.recs)
 	}
 	var out []ImbalanceFinding
 	for sw, ports := range perSwitch {

@@ -1,0 +1,31 @@
+package analyzer
+
+import "umon/internal/flowkey"
+
+// routeFlow appends to dst the positions of the reports that can answer a
+// non-zero estimate for f: the ones holding a dedicated heavy entry (from
+// the analyzer-level index, no hashing needed) plus the ones whose
+// non-empty-bucket bitmaps cover the flow in every row. Skipped reports
+// would contribute an identically-zero curve to QueryFlow's max-merge, so
+// routing never changes a query result.
+// RoutedReports reports how many host reports a query for f would touch —
+// the routing index's selectivity, for observability and experiments.
+func (a *Analyzer) RoutedReports(f flowkey.Key) int {
+	return len(a.routeFlow(f, nil))
+}
+
+func (a *Analyzer) routeFlow(f flowkey.Key, dst []int) []int {
+	hs := a.heavyReports[f]
+	hi := 0
+	for ri, q := range a.reports {
+		if hi < len(hs) && hs[hi] == ri {
+			dst = append(dst, ri)
+			hi++
+			continue
+		}
+		if q.MightSee(f) {
+			dst = append(dst, ri)
+		}
+	}
+	return dst
+}

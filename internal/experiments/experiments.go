@@ -285,6 +285,7 @@ func All() []struct {
 		{"ext-dedup", ExtDedupBatch},
 		{"ext-duty", ExtDutyCycle},
 		{"ext-imbalance", ExtImbalance},
+		{"ext-queryplane", ExtQueryPlane},
 	}
 }
 

@@ -5,28 +5,34 @@ package measure
 // rule extended to window series. Nil curves are skipped; if all are nil the
 // result is all zeros of length n.
 func MinCombine(n int, curves ...[]float64) []float64 {
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = -1
+	return MinCombineInto(make([]float64, n), curves...)
+}
+
+// MinCombineInto is MinCombine writing into a caller-provided buffer, so
+// hot query paths can reuse their result slice instead of allocating one
+// per query. dst is fully overwritten and returned.
+func MinCombineInto(dst []float64, curves ...[]float64) []float64 {
+	for i := range dst {
+		dst[i] = -1
 	}
 	for _, c := range curves {
 		if c == nil {
 			continue
 		}
-		for i := 0; i < n && i < len(c); i++ {
+		for i := 0; i < len(dst) && i < len(c); i++ {
 			v := c[i]
 			if v < 0 {
 				v = 0
 			}
-			if out[i] < 0 || v < out[i] {
-				out[i] = v
+			if dst[i] < 0 || v < dst[i] {
+				dst[i] = v
 			}
 		}
 	}
-	for i := range out {
-		if out[i] < 0 {
-			out[i] = 0
+	for i := range dst {
+		if dst[i] < 0 {
+			dst[i] = 0
 		}
 	}
-	return out
+	return dst
 }

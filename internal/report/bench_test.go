@@ -1,0 +1,103 @@
+package report
+
+import (
+	"testing"
+
+	"umon/internal/flowkey"
+	"umon/internal/wavesketch"
+)
+
+// benchQueryable builds a decoded report with many heavy entries — the
+// regime where the per-query cost of locating co-located heavy flows
+// dominates the light estimate. heavyFlows is a lower bound on the elected
+// heavy entries; the returned light keys miss the heavy part.
+func benchQueryable(b *testing.B, heavyFlows int) (*Queryable, []flowkey.Key) {
+	b.Helper()
+	cfg := wavesketch.DefaultFull()
+	cfg.Light.K = 32
+	full, err := wavesketch.NewFull(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Heavy candidates: steady high-rate flows, spread over distinct slots
+	// by construction (keys vary in SrcIP and SrcPort).
+	for w := int64(0); w < 512; w++ {
+		for f := 0; f < heavyFlows; f++ {
+			full.Update(key(f), w, 1500)
+		}
+		// Mice: occasional small packets.
+		if w%4 == 0 {
+			for f := 0; f < 32; f++ {
+				full.Update(key(10_000+f), w, 80)
+			}
+		}
+	}
+	full.Seal()
+	rep := FromFull(0, 0, full)
+	if got := len(rep.Heavy); got < heavyFlows/2 {
+		b.Fatalf("only %d heavy entries elected, want ≥ %d", got, heavyFlows/2)
+	}
+	q := NewQueryable(rep)
+	light := make([]flowkey.Key, 0, 32)
+	for f := 0; f < 32; f++ {
+		if k := key(10_000 + f); !q.IsHeavy(k) {
+			light = append(light, k)
+		}
+	}
+	if len(light) == 0 {
+		b.Fatal("no light flows survived election")
+	}
+	return q, light
+}
+
+// BenchmarkLightEstimate measures the steady-state cost of a light-flow
+// query on a report with ≥64 heavy flows: the co-location work (finding
+// which heavy flows share the flow's buckets) dominates once curves are
+// memoized.
+func BenchmarkLightEstimate(b *testing.B) {
+	q, light := benchQueryable(b, 96)
+	// Warm the reconstruction caches so the loop measures query cost, not
+	// one-time decode cost.
+	for _, k := range light {
+		q.QueryRange(k, 0, 512)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.QueryRange(light[i%len(light)], 0, 512)
+	}
+}
+
+// BenchmarkQueryRange measures heavy-flow queries (dedicated curve, cache
+// warm) mixed with light ones — the analyzer's replay mix.
+func BenchmarkQueryRange(b *testing.B) {
+	q, light := benchQueryable(b, 96)
+	heavy := q.HeavyFlows()
+	for _, k := range heavy {
+		q.QueryRange(k, 0, 512)
+	}
+	for _, k := range light {
+		q.QueryRange(k, 0, 512)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4 == 0 {
+			q.QueryRange(light[i%len(light)], 128, 384)
+		} else {
+			q.QueryRange(heavy[i%len(heavy)], 128, 384)
+		}
+	}
+}
+
+// BenchmarkNewQueryable measures index construction (colocation index,
+// routing bitmaps) on a dense report.
+func BenchmarkNewQueryable(b *testing.B) {
+	q, _ := benchQueryable(b, 96)
+	rep := q.rep
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewQueryable(rep)
+	}
+}

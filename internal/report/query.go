@@ -1,46 +1,121 @@
 package report
 
 import (
+	"sync"
+
 	"umon/internal/flowkey"
-	"umon/internal/measure"
 	"umon/internal/wavelet"
 	"umon/internal/wavesketch"
 )
 
+// curveCache memoizes one wavelet reconstruction. The sync.Once makes the
+// decode exactly-once and safe under parallel queries (the analyzer replays
+// an event's flows concurrently).
+type curveCache struct {
+	once  sync.Once
+	curve []float64
+}
+
+// bucketEntry is one light-part bucket with its lazily-decoded curve and
+// the inverted colocation index: the heavy keys that hash into this bucket,
+// in report order. Light queries subtract exactly these — no per-query scan
+// over the full heavy set.
+type bucketEntry struct {
+	exp       *wavesketch.BucketExport
+	colocated []flowkey.Key
+	ncol      int // colocation count from the index build's first pass
+	cache     curveCache
+}
+
+// heavyEntry is one heavy-part entry with its lazily-decoded curve.
+type heavyEntry struct {
+	exp   *wavesketch.HeavyExport
+	cache curveCache
+}
+
 // Queryable is a decoded report indexed for flow-rate queries on the
 // analyzer: the heavy entries answer directly; light queries hash into the
 // reported buckets, subtract co-located heavy flows and take the Count-Min
-// per-window minimum.
+// per-window minimum. All indexes are built once at NewQueryable; after
+// that the Queryable is safe for concurrent queries.
 type Queryable struct {
-	rep     *HostReport
-	seeds   []uint64
-	buckets map[[2]int]*wavesketch.BucketExport
-	heavy   map[flowkey.Key]*wavesketch.HeavyExport
-	// curveCache memoizes full-length reconstructions.
-	curveCache map[[2]int][]float64
-	heavyCache map[flowkey.Key][]float64
+	rep       *HostReport
+	seeds     []uint64
+	width     uint64
+	buckets   map[[2]int]*bucketEntry
+	heavy     map[flowkey.Key]*heavyEntry
+	heavyKeys []flowkey.Key // report order
+	// rowBits[r] is a bitmap of non-empty bucket indices in row r. A flow
+	// whose bucket is empty in any row has an identically-zero Count-Min
+	// estimate, so the analyzer can route queries past this report.
+	rowBits [][]uint64
 }
 
 // NewQueryable indexes a decoded report.
 func NewQueryable(r *HostReport) *Queryable {
 	q := &Queryable{
-		rep:        r,
-		buckets:    make(map[[2]int]*wavesketch.BucketExport, len(r.Buckets)),
-		heavy:      make(map[flowkey.Key]*wavesketch.HeavyExport, len(r.Heavy)),
-		curveCache: make(map[[2]int][]float64),
-		heavyCache: make(map[flowkey.Key][]float64),
+		rep:     r,
+		width:   uint64(r.Meta.Width),
+		buckets: make(map[[2]int]*bucketEntry, len(r.Buckets)),
+		heavy:   make(map[flowkey.Key]*heavyEntry, len(r.Heavy)),
 	}
 	q.seeds = make([]uint64, r.Meta.Rows)
 	for i := range q.seeds {
 		q.seeds[i] = flowkey.RowSeed(r.Meta.Seed, i)
 	}
+	words := (r.Meta.Width + 63) / 64
+	if words > 0 && r.Meta.Rows > 0 {
+		q.rowBits = make([][]uint64, r.Meta.Rows)
+		flat := make([]uint64, r.Meta.Rows*words)
+		for i := range q.rowBits {
+			q.rowBits[i] = flat[i*words : (i+1)*words]
+		}
+	}
+	entries := make([]bucketEntry, len(r.Buckets))
 	for i := range r.Buckets {
 		b := &r.Buckets[i]
-		q.buckets[[2]int{b.Row, b.Index}] = b
+		entries[i].exp = b
+		q.buckets[[2]int{b.Row, b.Index}] = &entries[i]
+		if b.Row >= 0 && b.Row < len(q.rowBits) && b.Index >= 0 && b.Index < r.Meta.Width {
+			q.rowBits[b.Row][b.Index>>6] |= 1 << (b.Index & 63)
+		}
 	}
+	hentries := make([]heavyEntry, len(r.Heavy))
+	q.heavyKeys = make([]flowkey.Key, 0, len(r.Heavy))
 	for i := range r.Heavy {
 		h := &r.Heavy[i]
-		q.heavy[h.Key] = h
+		hentries[i].exp = h
+		if _, dup := q.heavy[h.Key]; !dup {
+			q.heavyKeys = append(q.heavyKeys, h.Key)
+		}
+		q.heavy[h.Key] = &hentries[i]
+	}
+	// Inverted colocation index: for every heavy flow, mark the light
+	// buckets it hashes into. Built once here — the per-query cost of a
+	// light estimate no longer depends on the heavy-set size. Two passes
+	// share one backing array: count, then fill in report order.
+	type colPair struct {
+		e *bucketEntry
+		k flowkey.Key
+	}
+	var pairs []colPair
+	for _, k := range q.heavyKeys {
+		for r := range q.seeds {
+			idx := int(k.Hash(q.seeds[r]) % q.width)
+			if e := q.buckets[[2]int{r, idx}]; e != nil {
+				e.ncol++
+				pairs = append(pairs, colPair{e, k})
+			}
+		}
+	}
+	flat := make([]flowkey.Key, 0, len(pairs))
+	for _, p := range pairs {
+		if p.e.colocated == nil {
+			start := len(flat)
+			flat = flat[:start+p.e.ncol]
+			p.e.colocated = flat[start:start : start+p.e.ncol]
+		}
+		p.e.colocated = append(p.e.colocated, p.k)
 	}
 	return q
 }
@@ -54,65 +129,92 @@ func (q *Queryable) IsHeavy(f flowkey.Key) bool {
 	return ok
 }
 
-// HeavyFlows lists flows with heavy entries.
+// HeavyFlows lists flows with heavy entries, in report order.
 func (q *Queryable) HeavyFlows() []flowkey.Key {
-	out := make([]flowkey.Key, 0, len(q.heavy))
-	for k := range q.heavy {
-		out = append(out, k)
-	}
+	out := make([]flowkey.Key, len(q.heavyKeys))
+	copy(out, q.heavyKeys)
 	return out
 }
 
-func (q *Queryable) heavyCurve(k flowkey.Key) (int64, []float64) {
-	h := q.heavy[k]
-	if h == nil {
-		return 0, nil
+// MightSee reports whether this report can answer a non-zero estimate for
+// the flow: either a dedicated heavy entry exists, or every sketch row has
+// a non-empty bucket at the flow's hash position. When it returns false the
+// flow's estimate is identically zero, so the analyzer can skip the report
+// without changing any query result.
+func (q *Queryable) MightSee(f flowkey.Key) bool {
+	if _, ok := q.heavy[f]; ok {
+		return true
 	}
-	c, ok := q.heavyCache[k]
-	if !ok {
-		c = wavelet.Reconstruct(h.Approx, h.Details, q.rep.Meta.Levels, h.Len)
-		q.heavyCache[k] = c
+	if len(q.rowBits) == 0 {
+		// No rows: the light estimate is identically zero.
+		return false
 	}
-	return h.W0, c
+	for r := range q.seeds {
+		idx := int(f.Hash(q.seeds[r]) % q.width)
+		if q.rowBits[r][idx>>6]&(1<<(idx&63)) == 0 {
+			return false
+		}
+	}
+	return true
 }
 
-func (q *Queryable) bucketCurve(row, idx int) (*wavesketch.BucketExport, []float64) {
-	b := q.buckets[[2]int{row, idx}]
-	if b == nil {
-		return nil, nil
+func (q *Queryable) heavyCurve(h *heavyEntry) []float64 {
+	h.cache.once.Do(func() {
+		h.cache.curve = wavelet.Reconstruct(h.exp.Approx, h.exp.Details, q.rep.Meta.Levels, h.exp.Len)
+	})
+	return h.cache.curve
+}
+
+func (q *Queryable) bucketCurve(e *bucketEntry) []float64 {
+	e.cache.once.Do(func() {
+		e.cache.curve = wavelet.Reconstruct(e.exp.Approx, e.exp.Details, q.rep.Meta.Levels, e.exp.Len)
+	})
+	return e.cache.curve
+}
+
+// sliceInto writes curve[w-w0] for w in [from, to) into dst, zero where the
+// curve does not cover the window.
+func sliceInto(dst []float64, w0 int64, curve []float64, from, to int64) {
+	for i := range dst {
+		dst[i] = 0
 	}
-	key := [2]int{row, idx}
-	c, ok := q.curveCache[key]
-	if !ok {
-		c = wavelet.Reconstruct(b.Approx, b.Details, q.rep.Meta.Levels, b.Len)
-		q.curveCache[key] = c
+	addInto(dst, w0, curve, from, to, 1)
+}
+
+// addInto adds sign*curve[w-w0] into dst over the overlap of [from, to)
+// with the curve's span, without allocating.
+func addInto(dst []float64, w0 int64, curve []float64, from, to int64, sign float64) {
+	lo := from
+	if w0 > lo {
+		lo = w0
 	}
-	return b, c
+	hi := to
+	if end := w0 + int64(len(curve)); end < hi {
+		hi = end
+	}
+	for w := lo; w < hi; w++ {
+		dst[w-from] += sign * curve[w-w0]
+	}
 }
 
 // slice extracts [from, to) from a curve anchored at w0.
 func slice(w0 int64, curve []float64, from, to int64) []float64 {
 	out := make([]float64, to-from)
-	for w := from; w < to; w++ {
-		off := w - w0
-		if off >= 0 && off < int64(len(curve)) {
-			out[w-from] = curve[off]
-		}
-	}
+	sliceInto(out, w0, curve, from, to)
 	return out
 }
 
 // QueryRange estimates flow f's per-window byte counts over [from, to).
 // Heavy flows answer from their dedicated curve, falling back to the light
 // estimate for windows before the heavy entry began (mid-flow election),
-// matching wavesketch.Full.QueryRange.
+// matching wavesketch.Full.QueryRange. Safe for concurrent use.
 func (q *Queryable) QueryRange(f flowkey.Key, from, to int64) []float64 {
 	if to < from {
 		to = from
 	}
-	if w0, c := q.heavyCurve(f); c != nil {
-		est := slice(w0, c, from, to)
-		if w0 > from {
+	if h := q.heavy[f]; h != nil {
+		est := slice(h.exp.W0, q.heavyCurve(h), from, to)
+		if w0 := h.exp.W0; w0 > from {
 			cut := w0
 			if cut > to {
 				cut = to
@@ -125,35 +227,60 @@ func (q *Queryable) QueryRange(f flowkey.Key, from, to int64) []float64 {
 }
 
 // lightEstimate is the light-part Count-Min estimate with co-located
-// heavy-flow subtraction.
+// heavy-flow subtraction: per row, reconstruct the flow's bucket, subtract
+// the heavy flows the inverted index lists for that bucket, clamp at zero
+// (Count-Min estimates are non-negative) and fold the per-window minimum in
+// place.
 func (q *Queryable) lightEstimate(f flowkey.Key, from, to int64) []float64 {
 	n := int(to - from)
-	rows := q.rep.Meta.Rows
-	curves := make([][]float64, rows)
+	out := make([]float64, n)
+	rows := len(q.seeds)
+	if rows == 0 {
+		return out
+	}
+	var scratch []float64
+	first := true
 	for r := 0; r < rows; r++ {
-		idx := int(f.Hash(q.seeds[r]) % uint64(q.rep.Meta.Width))
-		b, c := q.bucketCurve(r, idx)
-		if b == nil {
+		idx := int(f.Hash(q.seeds[r]) % q.width)
+		e := q.buckets[[2]int{r, idx}]
+		if e == nil {
 			// An absent bucket means zero traffic hashed there: the min is 0.
-			curves[r] = make([]float64, n)
-			continue
+			for i := range out {
+				out[i] = 0
+			}
+			return out
 		}
-		est := slice(b.W0, c, from, to)
-		// Subtract co-located heavy flows (§4.2).
-		for hk := range q.heavy {
+		if scratch == nil {
+			scratch = make([]float64, n)
+		}
+		sliceInto(scratch, e.exp.W0, q.bucketCurve(e), from, to)
+		// Subtract co-located heavy flows (§4.2) — only the ones the
+		// inverted index recorded for this bucket.
+		for _, hk := range e.colocated {
 			if hk == f {
 				continue
 			}
-			if int(hk.Hash(q.seeds[r])%uint64(q.rep.Meta.Width)) != idx {
-				continue
+			h := q.heavy[hk]
+			addInto(scratch, h.exp.W0, q.heavyCurve(h), from, to, -1)
+		}
+		if first {
+			for i, v := range scratch {
+				if v < 0 {
+					v = 0
+				}
+				out[i] = v
 			}
-			hw0, hc := q.heavyCurve(hk)
-			hs := slice(hw0, hc, from, to)
-			for i := range est {
-				est[i] -= hs[i]
+			first = false
+			continue
+		}
+		for i, v := range scratch {
+			if v < 0 {
+				v = 0
+			}
+			if v < out[i] {
+				out[i] = v
 			}
 		}
-		curves[r] = est
 	}
-	return measure.MinCombine(n, curves...)
+	return out
 }

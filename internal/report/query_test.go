@@ -1,0 +1,164 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"umon/internal/flowkey"
+	"umon/internal/wavesketch"
+)
+
+// buildRandomFull replays a randomized mixed workload — steady heavies,
+// mice, and late-starting bursts that win their heavy slot mid-trace — and
+// returns the sealed sketch with the flows it saw.
+func buildRandomFull(t testing.TB, seed int64) (*wavesketch.Full, []flowkey.Key) {
+	t.Helper()
+	cfg := wavesketch.DefaultFull()
+	cfg.Light.K = 32
+	full, err := wavesketch.NewFull(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var flows []flowkey.Key
+	type spec struct {
+		k          flowkey.Key
+		start, end int64
+		size       int64
+		every      int64
+	}
+	var specs []spec
+	for i := 0; i < 12; i++ { // heavy from the start
+		specs = append(specs, spec{key(i), 0, 512, 1500, 1})
+	}
+	for i := 0; i < 24; i++ { // mice
+		specs = append(specs, spec{key(100 + i), int64(rng.Intn(128)), 512, 80, int64(2 + rng.Intn(6))})
+	}
+	for i := 0; i < 8; i++ { // mid-flow election: heavy rate, late start
+		specs = append(specs, spec{key(500 + i), int64(128 + rng.Intn(128)), 512, 3000, 1})
+	}
+	for _, s := range specs {
+		flows = append(flows, s.k)
+	}
+	for w := int64(0); w < 512; w++ {
+		for _, s := range specs {
+			if w >= s.start && w < s.end && (w-s.start)%s.every == 0 {
+				full.Update(s.k, w, s.size)
+			}
+		}
+	}
+	full.Seal()
+	return full, flows
+}
+
+// TestQueryableMatchesFullSketchProperty is the decode-fidelity property
+// test: for randomized workloads and query ranges, the decoded Queryable
+// must answer exactly what the live wavesketch.Full answers — across heavy
+// flows, light flows, and mid-flow elections (heavy entries whose curve
+// starts after the query range, exercising the light fallback).
+func TestQueryableMatchesFullSketchProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		full, flows := buildRandomFull(t, seed)
+		rep := FromFull(0, 0, full)
+		var buf bytes.Buffer
+		if _, err := rep.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := NewQueryable(dec)
+
+		var heavy, light, midFlow int
+		rng := rand.New(rand.NewSource(seed * 7919))
+		for _, f := range flows {
+			if q.IsHeavy(f) {
+				heavy++
+			} else {
+				light++
+			}
+			// The full range plus random sub-ranges (including ones
+			// starting before any traffic).
+			ranges := [][2]int64{{0, 512}}
+			for i := 0; i < 4; i++ {
+				from := int64(rng.Intn(512))
+				to := from + int64(rng.Intn(int(513-from)))
+				ranges = append(ranges, [2]int64{from, to})
+			}
+			for _, r := range ranges {
+				live := full.QueryRange(f, r[0], r[1])
+				remote := q.QueryRange(f, r[0], r[1])
+				if len(live) != len(remote) {
+					t.Fatalf("seed %d flow %s [%d,%d): len %d vs %d", seed, f, r[0], r[1], len(live), len(remote))
+				}
+				for i := range live {
+					if math.Abs(live[i]-remote[i]) > 1e-6 {
+						t.Fatalf("seed %d flow %s [%d,%d) win %d: live %v vs decoded %v",
+							seed, f, r[0], r[1], i, live[i], remote[i])
+					}
+				}
+			}
+		}
+		// The workload must actually exercise the mid-flow election
+		// fallback: a heavy entry whose curve starts after window 0.
+		for _, f := range flows {
+			if h := q.heavy[f]; h != nil && h.exp.W0 > 0 {
+				midFlow++
+			}
+		}
+		if heavy == 0 || light == 0 || midFlow == 0 {
+			t.Fatalf("seed %d degenerate workload: heavy=%d light=%d midFlow=%d", seed, heavy, light, midFlow)
+		}
+	}
+}
+
+// TestQueryableConcurrentQueries hammers one Queryable from many
+// goroutines (run under -race): every reconstruction must decode exactly
+// once, and every answer must equal the sequential baseline.
+func TestQueryableConcurrentQueries(t *testing.T) {
+	full, flows := buildRandomFull(t, 42)
+	rep := FromFull(0, 0, full)
+	var buf bytes.Buffer
+	if _, err := rep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential baseline from a separately-indexed copy.
+	baseline := make([][]float64, len(flows))
+	qSeq := NewQueryable(dec)
+	for i, f := range flows {
+		baseline[i] = qSeq.QueryRange(f, 0, 512)
+	}
+
+	q := NewQueryable(dec)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for iter := 0; iter < 50; iter++ {
+				fi := rng.Intn(len(flows))
+				got := q.QueryRange(flows[fi], 0, 512)
+				for i := range got {
+					if got[i] != baseline[fi][i] {
+						t.Errorf("goroutine %d: flow %d win %d: %v vs baseline %v",
+							g, fi, i, got[i], baseline[fi][i])
+						return
+					}
+				}
+				q.MightSee(flows[fi])
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -90,6 +90,25 @@ func Capture(celog []netsim.CERecord, rule ACLRule, truncBytes int32) []MirrorRe
 	return out
 }
 
+// SortByTime orders a mirror stream by timestamp in place. Per-port
+// consumers (the analyzer's streaming clusterer, Grade's binary search)
+// need time order; streams from Capture already have it, pcap replays and
+// merged uploads may not.
+func SortByTime(ms []MirrorRecord) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].TimestampNs < ms[j].TimestampNs })
+}
+
+// TimeOrdered reports whether the stream is already in timestamp order —
+// the fast path for streaming consumers.
+func TimeOrdered(ms []MirrorRecord) bool {
+	for i := 1; i < len(ms); i++ {
+		if ms[i].TimestampNs < ms[i-1].TimestampNs {
+			return false
+		}
+	}
+	return true
+}
+
 // EncodeMirrorPacket produces the on-the-wire form of one mirror record
 // (VLAN-tagged, timestamp-trailed), for transport to the analyzer.
 func EncodeMirrorPacket(m MirrorRecord) []byte {
@@ -167,7 +186,7 @@ func Grade(episodes []netsim.Episode, mirrors []MirrorRecord, binBytes, maxBytes
 		perPort[m.Port] = append(perPort[m.Port], m)
 	}
 	for _, ms := range perPort {
-		sort.Slice(ms, func(i, j int) bool { return ms[i].TimestampNs < ms[j].TimestampNs })
+		SortByTime(ms)
 	}
 
 	for _, ep := range episodes {

@@ -161,6 +161,13 @@ type HostReport = report.HostReport
 // DecodeReport parses an encoded host report.
 var DecodeReport = report.Decode
 
+// Queryable is a decoded host report indexed for concurrent flow-rate
+// queries (inverted colocation index, memoized reconstructions).
+type Queryable = report.Queryable
+
+// NewQueryable indexes a decoded report for querying.
+func NewQueryable(r *HostReport) *Queryable { return report.NewQueryable(r) }
+
 // ACLRule is the switch sampling rule (match CE + PSN low bits).
 type ACLRule = uevent.ACLRule
 
