@@ -14,14 +14,16 @@ test-short:
 
 # Race coverage for the concurrent surfaces: the parallel evaluation
 # harness, the singleflight sim cache, the sharded ingest front-end
-# (rings, shard workers, Seal barrier), and the analyzer query plane
-# (memoized reconstruction caches, routing index, parallel replay).
+# (rings, shard workers, Seal barrier), the analyzer query plane
+# (memoized reconstruction caches, routing index, parallel replay), and
+# the telemetry plane (atomic counters/histograms, registry, tracer).
 test-race:
 	$(GO) test -race ./internal/parallel
 	$(GO) test -race ./internal/experiments -run TestParallel
 	$(GO) test -race ./internal/wavesketch -run 'TestSharded'
 	$(GO) test -race ./internal/report -run 'TestQueryable'
 	$(GO) test -race ./internal/analyzer -run 'TestAnalyzerConcurrent|TestDetectEventsIncremental'
+	$(GO) test -race ./internal/telemetry
 
 vet:
 	$(GO) vet ./...
@@ -41,10 +43,10 @@ bench-micro:
 # -count so runs are comparable across commits; compares against the saved
 # baseline with benchstat when it is installed and a baseline exists
 # (create one with `make bench-baseline`).
-INGEST_BENCH = BasicUpdate|FullUpdate|BasicUpdateBatch|ShardedIngest
+INGEST_BENCH = BasicUpdate|FullUpdate|BasicUpdateBatch|ShardedIngest|TelemetryNoop
 bench-ingest:
 	$(GO) test -run XXX -bench '$(INGEST_BENCH)' -benchtime 2s -count 5 \
-		./internal/wavesketch | tee bench-ingest.txt
+		./internal/wavesketch ./internal/telemetry | tee bench-ingest.txt
 	@if command -v benchstat >/dev/null 2>&1 && [ -f bench-ingest.base.txt ]; then \
 		benchstat bench-ingest.base.txt bench-ingest.txt; \
 	else \
@@ -54,7 +56,7 @@ bench-ingest:
 # Save the current ingest numbers as the comparison baseline.
 bench-baseline:
 	$(GO) test -run XXX -bench '$(INGEST_BENCH)' -benchtime 2s -count 5 \
-		./internal/wavesketch | tee bench-ingest.base.txt
+		./internal/wavesketch ./internal/telemetry | tee bench-ingest.base.txt
 
 # Query-plane latency (ns/op, allocs): report-side range queries and light
 # estimation plus full analyzer event replay. Same benchstat-compatible

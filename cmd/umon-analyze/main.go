@@ -26,6 +26,7 @@ import (
 	"umon/internal/parallel"
 	"umon/internal/pcapio"
 	"umon/internal/report"
+	"umon/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +36,8 @@ func main() {
 	top := flag.Int("top", 10, "events to list")
 	replayMarginUs := flag.Int64("replay-margin-us", 250, "replay margin around the event")
 	workers := flag.Int("workers", 0, "worker-pool width for decode/replay (0: UMON_WORKERS or GOMAXPROCS)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry on this address (/metrics Prometheus, /vars JSON, /debug/pprof)")
+	telemetryDump := flag.Bool("telemetry-dump", false, "print a telemetry summary to stderr at end of run")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -45,14 +48,33 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*mirrors, *reports, *gapUs*1000, *top, *replayMarginUs*1000); err != nil {
+	var reg *telemetry.Registry
+	if *telemetryAddr != "" || *telemetryDump {
+		reg = telemetry.NewRegistry()
+	}
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(*telemetryAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "umon-analyze:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "umon-analyze: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	err := run(*mirrors, *reports, *gapUs*1000, *top, *replayMarginUs*1000, reg)
+	if *telemetryDump {
+		reg.WriteSummary(os.Stderr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "umon-analyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mirrorPath, reportDir string, gapNs int64, top int, replayMarginNs int64) error {
+func run(mirrorPath, reportDir string, gapNs int64, top int, replayMarginNs int64, reg *telemetry.Registry) error {
 	a := analyzer.New()
+	a.SetStats(analyzer.NewPlaneStats(reg))
+	tracer := telemetry.NewTracer(reg)
 
 	f, err := os.Open(mirrorPath)
 	if err != nil {
@@ -68,11 +90,13 @@ func run(mirrorPath, reportDir string, gapNs int64, top int, replayMarginNs int6
 		return fmt.Errorf("reading %s: %w", mirrorPath, err)
 	}
 	var badMirror int
+	span := tracer.Start("mirror_ingest")
 	for _, p := range pkts {
 		if err := a.AddMirrorPacket(p.Data); err != nil {
 			badMirror++
 		}
 	}
+	span.End()
 	fmt.Printf("mirrors       %d packets ingested, %d unparseable\n", a.Mirrors(), badMirror)
 
 	if reportDir != "" {
@@ -86,6 +110,7 @@ func run(mirrorPath, reportDir string, gapNs int64, top int, replayMarginNs int6
 		// hand them to the analyzer in path order so its routing index is
 		// deterministic.
 		queryables := make([]*report.Queryable, len(entries))
+		span = tracer.Start("report_decode")
 		err = parallel.ForEachErr(len(entries), func(i int) error {
 			raw, err := os.ReadFile(entries[i])
 			if err != nil {
@@ -104,10 +129,13 @@ func run(mirrorPath, reportDir string, gapNs int64, top int, replayMarginNs int6
 		for _, q := range queryables {
 			a.AddQueryable(q)
 		}
+		span.End()
 		fmt.Printf("reports       %d ingested from %s\n", len(entries), reportDir)
 	}
 
+	span = tracer.Start("detect_events")
 	events := a.DetectEvents(gapNs)
+	span.End()
 	stats := analyzer.Durations(events)
 	fmt.Printf("events        %d detected (gap %dus)\n", stats.Count, gapNs/1000)
 	if stats.Count == 0 {
@@ -133,7 +161,9 @@ func run(mirrorPath, reportDir string, gapNs int64, top int, replayMarginNs int6
 
 	// Replay the biggest event if rate curves are available.
 	best := sorted[0]
+	span = tracer.Start("replay")
 	view := a.Replay(best, replayMarginNs)
+	span.End()
 	var active int
 	for _, c := range view.Curves {
 		for _, v := range c {

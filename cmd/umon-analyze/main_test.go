@@ -8,6 +8,7 @@ import (
 	"umon/internal/flowkey"
 	"umon/internal/netsim"
 	"umon/internal/pcapio"
+	"umon/internal/telemetry"
 	"umon/internal/uevent"
 )
 
@@ -43,13 +44,35 @@ func TestAnalyzeRuns(t *testing.T) {
 	dir := t.TempDir()
 	pcap := filepath.Join(dir, "mirrors.pcap")
 	writeMirrorPcap(t, pcap)
-	if err := run(pcap, "", 50_000, 5, 100_000); err != nil {
+	if err := run(pcap, "", 50_000, 5, 100_000, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestAnalyzeTelemetry runs the analyzer with a live registry and checks
+// the query-plane counters moved: replays happened and every stage span
+// was recorded.
+func TestAnalyzeTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	pcap := filepath.Join(dir, "mirrors.pcap")
+	writeMirrorPcap(t, pcap)
+	reg := telemetry.NewRegistry()
+	if err := run(pcap, "", 50_000, 5, 100_000, reg); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Value("umon_analyzer_replays_total") == 0 {
+		t.Error("replay counter not live")
+	}
+	for _, stage := range []string{"mirror_ingest", "detect_events", "replay"} {
+		name := `umon_stage_runs_total{stage="` + stage + `"}`
+		if reg.Value(name) == 0 {
+			t.Errorf("stage %s not traced", stage)
+		}
+	}
+}
+
 func TestAnalyzeMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "nope.pcap"), "", 1000, 1, 1000); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope.pcap"), "", 1000, 1, 1000, nil); err == nil {
 		t.Error("missing capture must fail")
 	}
 }
@@ -58,7 +81,7 @@ func TestAnalyzeGarbageCapture(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bad.pcap")
 	os.WriteFile(path, []byte("not a pcap"), 0o644)
-	if err := run(path, "", 1000, 1, 1000); err == nil {
+	if err := run(path, "", 1000, 1, 1000, nil); err == nil {
 		t.Error("garbage capture must fail")
 	}
 }

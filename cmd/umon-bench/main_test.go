@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBenchList checks the -list mode enumerates the experiment registry.
+func TestBenchList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := benchMain([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, id := range []string{"fig5", "fig10", "table1"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+// TestBenchRunsSimFreeExperiments smoke-tests the table pipeline on the
+// experiments that need no simulation (fig5 decomposes a synthetic curve,
+// table1 prints the paper's hardware numbers), so the test stays fast.
+func TestBenchRunsSimFreeExperiments(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := benchMain([]string{"-run", "fig5,table1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"== fig5", "== table1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q\nstdout:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestBenchTelemetryDump checks -telemetry-dump stays on stderr: the
+// stdout tables are unchanged and the summary mentions the stage spans.
+func TestBenchTelemetryDump(t *testing.T) {
+	var plain, instOut, instErr bytes.Buffer
+	if code := benchMain([]string{"-run", "fig5"}, &plain, &instErr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, instErr.String())
+	}
+	instErr.Reset()
+	if code := benchMain([]string{"-run", "fig5", "-telemetry-dump"}, &instOut, &instErr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, instErr.String())
+	}
+	if plain.String() != instOut.String() {
+		t.Error("telemetry changed stdout output")
+	}
+	if !strings.Contains(instErr.String(), "umon_stage_runs_total") {
+		t.Errorf("summary missing stage counters, stderr:\n%s", instErr.String())
+	}
+}
+
+// TestBenchUnknownExperiment checks failures surface as a non-zero exit.
+func TestBenchUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := benchMain([]string{"-run", "fig999"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown id") {
+		t.Errorf("stderr missing error, got: %s", errb.String())
+	}
+}

@@ -18,11 +18,14 @@ import (
 	"path/filepath"
 	"strings"
 
+	"umon/internal/analyzer"
 	"umon/internal/core"
 	"umon/internal/netsim"
 	"umon/internal/packet"
 	"umon/internal/pcapio"
+	"umon/internal/telemetry"
 	"umon/internal/uevent"
+	"umon/internal/wavesketch"
 	"umon/internal/workload"
 )
 
@@ -34,15 +37,34 @@ func main() {
 	sampleBits := flag.Uint("sample-bits", 6, "event sampling: probability 1/2^bits")
 	outDir := flag.String("out", "umon-out", "output directory")
 	tracePcap := flag.Bool("trace-pcap", false, "also dump host egress traffic (headers) as traffic.pcap")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry on this address (/metrics Prometheus, /vars JSON, /debug/pprof)")
+	telemetryDump := flag.Bool("telemetry-dump", false, "print a telemetry summary to stderr at end of run")
 	flag.Parse()
 
-	if err := run(*wl, *load, *ms, *seed, *sampleBits, *outDir, *tracePcap); err != nil {
+	var reg *telemetry.Registry
+	if *telemetryAddr != "" || *telemetryDump {
+		reg = telemetry.NewRegistry()
+	}
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(*telemetryAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "umon-sim:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "umon-sim: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	err := run(*wl, *load, *ms, *seed, *sampleBits, *outDir, *tracePcap, reg)
+	if *telemetryDump {
+		reg.WriteSummary(os.Stderr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "umon-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string, tracePcap bool) error {
+func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string, tracePcap bool, reg *telemetry.Registry) error {
 	var dist *workload.Distribution
 	switch strings.ToLower(wl) {
 	case "hadoop":
@@ -62,6 +84,17 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string
 	}
 	cfg := netsim.DefaultConfig(topo)
 	cfg.Seed = uint64(seed)
+	cfg.Stats = netsim.NewSimStats(reg)
+	// Register the full µMon metric surface up front so a scrape during the
+	// run covers every family: the ingest vec counts per-host sketch
+	// samples live; the analyzer-plane series (decode cache, MightSee
+	// routing) exist at zero until an analyzer runs in-process.
+	var ingStats wavesketch.IngestStats
+	if s := wavesketch.NewIngestStats(reg, topo.Hosts); s != nil {
+		ingStats = *s
+	}
+	_ = analyzer.NewPlaneStats(reg)
+	tracer := telemetry.NewTracer(reg)
 	flows, err := workload.Generate(workload.Config{
 		Dist: dist, Load: load, Hosts: topo.Hosts,
 		LinkBps: cfg.LinkBps, DurationNs: ms * 1_000_000, Seed: seed,
@@ -110,6 +143,7 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string
 		if err := hosts[host].OnPacket(pkt.Flow, now, int(pkt.Size)); err != nil && pipelineErr == nil {
 			pipelineErr = err
 		}
+		ingStats.Samples.At(host).Inc()
 	}
 	n.OnSwitchCE = func(sw, port int16, pkt *netsim.Packet, now int64) {
 		if !sysCfg.Switch.Rule.Matches(true, pkt.PSN) {
@@ -158,12 +192,16 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string
 		}
 	}
 	horizon := ms*1_000_000 + ms*100_000
+	span := tracer.Start("sim_run")
 	tr := n.Run(horizon)
+	span.End()
+	span = tracer.Start("host_flush")
 	for _, hm := range hosts {
 		if err := hm.Flush(); err != nil {
 			return err
 		}
 	}
+	span.End()
 	if err := mirrorW.Flush(); err != nil {
 		return err
 	}

@@ -1,16 +1,19 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"umon/internal/pcapio"
+	"umon/internal/telemetry"
 )
 
 func TestRunProducesArtifacts(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("hadoop", 0.15, 2, 7, 4, dir, true); err != nil {
+	if err := run("hadoop", 0.15, 2, 7, 4, dir, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Mirror pcap exists and parses.
@@ -55,7 +58,41 @@ func TestRunProducesArtifacts(t *testing.T) {
 }
 
 func TestRunRejectsUnknownWorkload(t *testing.T) {
-	if err := run("netflix", 0.15, 1, 7, 4, t.TempDir(), false); err == nil {
+	if err := run("netflix", 0.15, 1, 7, 4, t.TempDir(), false, nil); err == nil {
 		t.Error("unknown workload must fail")
+	}
+}
+
+// TestRunTelemetryCoversAcceptanceFamilies runs a short sim with a live
+// registry and checks the Prometheus exposition covers every family the
+// acceptance criteria name — live ones non-zero, analyzer-plane ones
+// present at zero.
+func TestRunTelemetryCoversAcceptanceFamilies(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	if err := run("hadoop", 0.15, 1, 7, 4, t.TempDir(), false, reg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, fam := range []string{
+		"umon_ingest_samples_total",
+		"umon_ingest_ring_full_total",
+		"umon_netsim_events_total",
+		"umon_decode_cold_total",
+		"umon_decode_cache_hits_total",
+		"umon_analyzer_reports_visited_total",
+		"umon_analyzer_reports_skipped_total",
+		"umon_stage_wall_ns",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("exposition missing family %s", fam)
+		}
+	}
+	if reg.Value("umon_netsim_events_total") == 0 {
+		t.Error("netsim events counter not live")
+	}
+	if reg.Value(`umon_ingest_samples_total{shard="0"}`) == 0 {
+		t.Error("per-host ingest samples counter not live")
 	}
 }

@@ -62,6 +62,9 @@ type Analyzer struct {
 	// mirror timestamps (from the time-sync deployment); nil means
 	// already-aligned clocks.
 	switchOffsets map[int16]int64
+	// stats is a value copy of the optional query-plane telemetry (zero
+	// value = disabled; every handle nil-checks itself).
+	stats PlaneStats
 }
 
 // New returns an empty analyzer.
@@ -71,6 +74,15 @@ func New() *Analyzer {
 		clusters:      make(map[netsim.PortID]*portClusterer),
 		gapNs:         defaultGapNs,
 		switchOffsets: make(map[int16]int64),
+	}
+}
+
+// SetStats attaches query-plane telemetry. Call before ingesting reports
+// so the decode counters reach every Queryable; not safe to race with
+// queries.
+func (a *Analyzer) SetStats(s *PlaneStats) {
+	if s != nil {
+		a.stats = *s
 	}
 }
 
@@ -88,6 +100,7 @@ func (a *Analyzer) AddReport(r *report.HostReport) {
 // AddQueryable ingests an already-indexed report (reports can be decoded
 // and indexed in parallel, then handed over in deterministic order).
 func (a *Analyzer) AddQueryable(q *report.Queryable) {
+	q.SetStats(a.stats.Decode)
 	pos := len(a.reports)
 	a.reports = append(a.reports, q)
 	for _, f := range q.HeavyFlows() {
@@ -213,6 +226,7 @@ func (a *Analyzer) QueryFlow(f flowkey.Key, from, to int64) []float64 {
 	if to < from {
 		to = from
 	}
+	a.stats.Queries.Inc()
 	out := make([]float64, to-from)
 	for _, ri := range a.routeFlow(f, nil) {
 		cur := a.reports[ri].QueryRange(f, from, to)
@@ -252,6 +266,8 @@ func (a *Analyzer) Replay(ev Event, marginNs int64) *ReplayView {
 		Windows:     int(to - from),
 		Curves:      make(map[flowkey.Key][]float64, len(ev.Flows)),
 	}
+	a.stats.Replays.Inc()
+	a.stats.ReplayFanout.Observe(int64(len(ev.Flows)))
 	curves := make([][]float64, len(ev.Flows))
 	parallel.ForEach(len(ev.Flows), func(i int) {
 		curves[i] = a.QueryFlow(ev.Flows[i], from, to)

@@ -15,6 +15,7 @@ func (a *Analyzer) RoutedReports(f flowkey.Key) int {
 }
 
 func (a *Analyzer) routeFlow(f flowkey.Key, dst []int) []int {
+	before := len(dst)
 	hs := a.heavyReports[f]
 	hi := 0
 	for ri, q := range a.reports {
@@ -27,5 +28,8 @@ func (a *Analyzer) routeFlow(f flowkey.Key, dst []int) []int {
 			dst = append(dst, ri)
 		}
 	}
+	visited := int64(len(dst) - before)
+	a.stats.ReportsVisited.Add(visited)
+	a.stats.ReportsSkipped.Add(int64(len(a.reports)) - visited)
 	return dst
 }

@@ -1,0 +1,50 @@
+package analyzer
+
+import (
+	"umon/internal/report"
+	"umon/internal/telemetry"
+)
+
+// PlaneStats is the query plane's operational telemetry: routing
+// selectivity, query and replay volume, and the decode-cache split of the
+// reports this analyzer ingests. All handles no-op when nil; an Analyzer
+// without stats carries the zero value.
+type PlaneStats struct {
+	// Queries counts QueryFlow calls (replay fan-out included).
+	Queries *telemetry.Counter
+	// ReportsVisited / ReportsSkipped split routing decisions: a visited
+	// report is queried, a skipped one was proven irrelevant by the heavy
+	// index or the MightSee bitmaps. skipped/(visited+skipped) is the
+	// routing index's skip ratio.
+	ReportsVisited *telemetry.Counter
+	ReportsSkipped *telemetry.Counter
+	// Replays counts Replay calls; ReplayFanout observes each replay's
+	// fan-out width (flows queried per event).
+	Replays      *telemetry.Counter
+	ReplayFanout *telemetry.Histogram
+	// Decode is attached to every ingested Queryable, splitting curve
+	// lookups into cold reconstructions and memoized hits.
+	Decode *report.QueryStats
+}
+
+// NewPlaneStats registers the query-plane metric set on reg (nil reg
+// yields nil, the disabled configuration).
+func NewPlaneStats(reg *telemetry.Registry) *PlaneStats {
+	if reg == nil {
+		return nil
+	}
+	return &PlaneStats{
+		Queries:        reg.Counter("umon_analyzer_queries_total", "flow-rate queries answered (QueryFlow calls)"),
+		ReportsVisited: reg.Counter("umon_analyzer_reports_visited_total", "host reports queried after routing"),
+		ReportsSkipped: reg.Counter("umon_analyzer_reports_skipped_total", "host reports skipped by the MightSee routing index"),
+		Replays:        reg.Counter("umon_analyzer_replays_total", "congestion-event replays performed"),
+		ReplayFanout:   reg.Histogram("umon_analyzer_replay_fanout_flows", "flows queried per event replay"),
+		Decode:         NewQueryStats(reg),
+	}
+}
+
+// NewQueryStats re-exports report.NewQueryStats so callers wiring the
+// analyzer need only this package.
+func NewQueryStats(reg *telemetry.Registry) *report.QueryStats {
+	return report.NewQueryStats(reg)
+}

@@ -17,6 +17,7 @@ import (
 	"umon/internal/measure"
 	"umon/internal/netsim"
 	"umon/internal/parallel"
+	"umon/internal/telemetry"
 	"umon/internal/workload"
 )
 
@@ -28,6 +29,12 @@ type Options struct {
 	DurationNs int64
 	// Seed drives workload generation and marking decisions.
 	Seed int64
+	// Telemetry, when non-nil, attaches the simulator's operational
+	// counters (netsim SimStats) to every cached simulation build. All
+	// builds share one registry; registration is idempotent, so the
+	// counters aggregate across the six standard simulations. Nil (the
+	// default) is the disabled, zero-overhead configuration.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) filled() Options {
@@ -157,6 +164,7 @@ func (c *Cache) build(key SimKey) (*SimResult, error) {
 	}
 	cfg := netsim.DefaultConfig(topo)
 	cfg.Seed = uint64(c.opt.Seed)
+	cfg.Stats = netsim.NewSimStats(c.opt.Telemetry)
 	flows, err := workload.Generate(workload.Config{
 		Dist: dist, Load: key.Load, Hosts: topo.Hosts,
 		LinkBps: cfg.LinkBps, DurationNs: c.opt.DurationNs, Seed: c.opt.Seed,

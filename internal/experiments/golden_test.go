@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"umon/internal/telemetry"
+)
+
+// TestGoldenAccuracyTables regenerates fig10/fig11/fig12 at the paper's
+// default scale (20 ms, seed 42) and compares them byte-for-byte against
+// the committed goldens in testdata/. The run has telemetry ENABLED: the
+// goldens were generated with telemetry off, so a byte-identical result
+// proves in one run that instrumentation perturbs nothing — disabled and
+// enabled configurations both reproduce the committed tables.
+//
+// Regenerate after an intentional output change with:
+//
+//	UMON_UPDATE_GOLDEN=1 go test ./internal/experiments -run TestGoldenAccuracyTables
+//
+// Full-scale simulation (~15 s for the three shared sims); skipped under
+// -short.
+func TestGoldenAccuracyTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale golden run skipped in -short mode")
+	}
+	reg := telemetry.NewRegistry()
+	cache := NewCache(Options{Telemetry: reg})
+	runner := NewRunner(cache)
+	update := os.Getenv("UMON_UPDATE_GOLDEN") != ""
+	for _, id := range []string{"fig10", "fig11", "fig12"} {
+		tab, err := runner.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		var buf bytes.Buffer
+		tab.Fprint(&buf)
+		path := filepath.Join("testdata", id+".golden")
+		if update {
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with UMON_UPDATE_GOLDEN=1)", id, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s diverged from %s (regenerate with UMON_UPDATE_GOLDEN=1 if intentional)\n--- got ---\n%s--- want ---\n%s",
+				id, path, buf.String(), string(want))
+		}
+	}
+	// Prove telemetry was live for the run, not silently disabled.
+	if reg.Value("umon_netsim_events_total") == 0 {
+		t.Error("telemetry registry saw no simulator events — instrumentation not wired")
+	}
+	if reg.Value("umon_netsim_pktfree_hits_total") == 0 {
+		t.Error("free-list hit counter not live")
+	}
+}

@@ -2,6 +2,14 @@
 // Appendix E — Euclidean distance, cosine similarity, energy similarity and
 // average relative error — plus the recall/coverage counters used by the
 // µEvent evaluation (§7.2).
+//
+// This package answers "how close is the estimate to the truth": its
+// functions compare measurement output against ground truth and appear in
+// the regenerated tables. It is deliberately separate from
+// internal/telemetry, which answers "what is the system doing right now" —
+// operational counters (samples ingested, events simulated, cache hits)
+// with no ground truth involved. Accuracy math belongs here; run-time
+// observability belongs in telemetry.
 package metrics
 
 import "math"

@@ -53,6 +53,10 @@ type Config struct {
 	// matching the paper's DCQCN-without-PFC evaluation.
 	PFC  PFCConfig
 	Seed uint64
+	// Stats, when non-nil, receives operational telemetry (event counts,
+	// free-list hit rate, ECN marks, queue high-water marks). Nil — the
+	// default — leaves the datapath uninstrumented at zero cost.
+	Stats *SimStats
 }
 
 // DefaultConfig returns the evaluation configuration on the given topology.
@@ -235,6 +239,10 @@ type Network struct {
 	hosts []*host
 	trace *Trace
 	rngs  rngState
+	// stats is a value copy of Config.Stats (zero value when absent):
+	// every field is a nil-safe telemetry handle, so uninstrumented runs
+	// pay one nil check per site.
+	stats SimStats
 	// pktFree recycles packets whose journey ended (delivered, dropped or
 	// unroutable); senders draw from it before allocating. One simulation
 	// then allocates only as many Packets as are simultaneously in flight.
@@ -277,6 +285,9 @@ func New(cfg Config) (*Network, error) {
 		topo: cfg.Topo,
 		rngs: rngState{s: cfg.Seed*0x9e3779b97f4a7c15 + 0x1234567},
 	}
+	if cfg.Stats != nil {
+		n.stats = *cfg.Stats
+	}
 	n.eng.net = n
 	n.trace = &Trace{
 		HostPackets:  make([][]EgressRecord, cfg.Topo.Hosts),
@@ -310,8 +321,10 @@ func (n *Network) newPacket() *Packet {
 	if k := len(n.pktFree); k > 0 {
 		p := n.pktFree[k-1]
 		n.pktFree = n.pktFree[:k-1]
+		n.stats.FreeHit.Inc()
 		return p
 	}
+	n.stats.FreeMiss.Inc()
 	return new(Packet)
 }
 
@@ -330,6 +343,7 @@ func (n *Network) enqueue(p *port, pkt *Packet) {
 	now := n.eng.Now()
 	if p.qbytes+int64(pkt.Size) > n.cfg.BufferBytes {
 		p.drops++
+		n.stats.Drops.Inc()
 		if int(pkt.FlowID) < len(n.trace.Flows) {
 			n.trace.Flows[pkt.FlowID].Drops++
 		}
@@ -345,12 +359,14 @@ func (n *Network) enqueue(p *port, pkt *Packet) {
 	if isSwitch && pkt.ECT && !pkt.CE {
 		if prob := n.cfg.ECN.markProb(p.qbytes); prob > 0 && (prob >= 1 || n.rngs.float64() < prob) {
 			pkt.CE = true
+			n.stats.ECNMarks.Inc()
 		}
 	}
 	p.queue = append(p.queue, pkt)
 	p.qbytes += int64(pkt.Size)
 
 	if isSwitch {
+		n.stats.QueueHWM.SetMax(p.qbytes)
 		n.trackEpisode(p, pkt, now)
 		n.pfcCheck(p)
 	}
@@ -523,7 +539,9 @@ func (n *Network) scheduleQueueSampling(until int64) {
 // still open, and returns the trace.
 func (n *Network) Run(untilNs int64) *Trace {
 	n.scheduleQueueSampling(untilNs)
-	n.trace.Events = n.eng.Run(untilNs)
+	events := n.eng.Run(untilNs)
+	n.trace.Events = events
+	n.stats.Events.Add(int64(events & 4095)) // chunks of 4096 flushed live by the engine
 	for v := n.topo.Hosts; v < n.topo.Nodes(); v++ {
 		for _, p := range n.ports[v] {
 			if p.epActive {

@@ -1,0 +1,41 @@
+package netsim
+
+import "umon/internal/telemetry"
+
+// SimStats is the simulator's operational telemetry: datapath counters a
+// running simulation exposes through internal/telemetry. All fields no-op
+// when nil, and a Network built without stats carries the zero SimStats —
+// the hot paths (enqueue, newPacket) pay one nil check per site, nothing
+// more (see BenchmarkEngineEventLoop and the fig goldens for proof that
+// behaviour and output are unchanged).
+type SimStats struct {
+	// Events counts engine events executed (folded in once per Run).
+	Events *telemetry.Counter
+	// FreeHit / FreeMiss split Packet allocations between free-list reuse
+	// and fresh heap allocations — the free list's hit rate.
+	FreeHit  *telemetry.Counter
+	FreeMiss *telemetry.Counter
+	// ECNMarks counts CE marks applied by RED at switch egress queues.
+	ECNMarks *telemetry.Counter
+	// Drops counts tail drops (any port).
+	Drops *telemetry.Counter
+	// QueueHWM tracks the maximum switch egress queue depth in bytes — a
+	// high-water-mark gauge.
+	QueueHWM *telemetry.Gauge
+}
+
+// NewSimStats registers the simulator metric set on reg (nil reg yields
+// nil, the disabled configuration).
+func NewSimStats(reg *telemetry.Registry) *SimStats {
+	if reg == nil {
+		return nil
+	}
+	return &SimStats{
+		Events:   reg.Counter("umon_netsim_events_total", "discrete events executed by the simulation engine"),
+		FreeHit:  reg.Counter("umon_netsim_pktfree_hits_total", "packets drawn from the free list"),
+		FreeMiss: reg.Counter("umon_netsim_pktfree_misses_total", "packets freshly heap-allocated"),
+		ECNMarks: reg.Counter("umon_netsim_ecn_marks_total", "packets CE-marked by RED at switch egress"),
+		Drops:    reg.Counter("umon_netsim_drops_total", "packets tail-dropped at egress queues"),
+		QueueHWM: reg.Gauge("umon_netsim_queue_high_water_bytes", "maximum switch egress queue depth observed"),
+	}
+}

@@ -49,6 +49,17 @@ type Queryable struct {
 	// whose bucket is empty in any row has an identically-zero Count-Min
 	// estimate, so the analyzer can route queries past this report.
 	rowBits [][]uint64
+	// stats is a value copy of the optional decode telemetry (zero value =
+	// disabled; every handle nil-checks itself).
+	stats QueryStats
+}
+
+// SetStats attaches decode telemetry. Call before issuing queries; not
+// safe to race with QueryRange.
+func (q *Queryable) SetStats(s *QueryStats) {
+	if s != nil {
+		q.stats = *s
+	}
 }
 
 // NewQueryable indexes a decoded report.
@@ -159,16 +170,30 @@ func (q *Queryable) MightSee(f flowkey.Key) bool {
 }
 
 func (q *Queryable) heavyCurve(h *heavyEntry) []float64 {
+	cold := false
 	h.cache.once.Do(func() {
+		cold = true
 		h.cache.curve = wavelet.Reconstruct(h.exp.Approx, h.exp.Details, q.rep.Meta.Levels, h.exp.Len)
 	})
+	if cold {
+		q.stats.DecodeCold.Inc()
+	} else {
+		q.stats.DecodeHits.Inc()
+	}
 	return h.cache.curve
 }
 
 func (q *Queryable) bucketCurve(e *bucketEntry) []float64 {
+	cold := false
 	e.cache.once.Do(func() {
+		cold = true
 		e.cache.curve = wavelet.Reconstruct(e.exp.Approx, e.exp.Details, q.rep.Meta.Levels, e.exp.Len)
 	})
+	if cold {
+		q.stats.DecodeCold.Inc()
+	} else {
+		q.stats.DecodeHits.Inc()
+	}
 	return e.cache.curve
 }
 

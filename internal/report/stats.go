@@ -1,0 +1,28 @@
+package report
+
+import "umon/internal/telemetry"
+
+// QueryStats is the decode-side operational telemetry for Queryable: it
+// splits curve lookups into cold reconstructions and memoized hits, making
+// the sync.Once decode cache's effectiveness observable. All fields no-op
+// when nil; a Queryable without stats carries the zero value and each
+// lookup pays one nil check.
+type QueryStats struct {
+	// DecodeCold counts wavelet reconstructions actually performed (cache
+	// misses — the first query to touch a heavy entry or bucket).
+	DecodeCold *telemetry.Counter
+	// DecodeHits counts curve lookups served from the memoized cache.
+	DecodeHits *telemetry.Counter
+}
+
+// NewQueryStats registers the decode metric set on reg (nil reg yields
+// nil, the disabled configuration).
+func NewQueryStats(reg *telemetry.Registry) *QueryStats {
+	if reg == nil {
+		return nil
+	}
+	return &QueryStats{
+		DecodeCold: reg.Counter("umon_decode_cold_total", "wavelet curve reconstructions performed (decode cache misses)"),
+		DecodeHits: reg.Counter("umon_decode_cache_hits_total", "curve lookups served from the memoized decode cache"),
+	}
+}

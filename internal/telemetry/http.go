@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux returns the introspection mux:
+//
+//	/metrics        Prometheus text exposition
+//	/vars           expvar-style JSON
+//	/debug/pprof/*  net/http/pprof (profile, heap, goroutine, trace, …)
+//
+// pprof rides on the same mux so one -telemetry-addr flag gives both
+// metrics and profiling without touching http.DefaultServeMux.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the listener down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// Serve starts the introspection endpoint on addr (e.g. ":9151" or
+// "127.0.0.1:0") in a background goroutine and returns immediately. The
+// caller owns the returned Server and should Close it on exit; a process
+// that exits right after its run loop can also just let it die with the
+// process — the endpoint exists to be curled *during* the run.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{srv: srv, ln: ln}, nil
+}

@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"umon/internal/flowkey"
 	"umon/internal/measure"
+	"umon/internal/telemetry"
 )
 
 // ShardedConfig parameterizes a sharded ingest front-end.
@@ -33,6 +35,11 @@ type ShardedConfig struct {
 	// New builds one shard's sketch. Each shard owns a private slab, so
 	// workers never contend on sketch state.
 	New func(shard int) (measure.SeriesEstimator, error)
+	// Stats, when non-nil, receives operational telemetry (per-shard
+	// sample counts, ring back-pressure events, Seal barrier time). Nil —
+	// the default — leaves ingest uninstrumented at zero cost. The
+	// Samples vec should have at least Shards cells (NewIngestStats).
+	Stats *IngestStats
 }
 
 // DefaultSharded returns a front-end config with n shards over basic
@@ -58,7 +65,8 @@ func DefaultSharded(n int, cfg Config) ShardedConfig {
 type spscRing struct {
 	buf    []measure.Sample
 	mask   uint64
-	_      [40]byte
+	full   *telemetry.Counter // back-pressure telemetry; nil = uninstrumented
+	_      [32]byte
 	head   atomic.Uint64 // next slot to read (consumer-owned)
 	_      [56]byte
 	tail   atomic.Uint64 // next slot to write (producer-owned)
@@ -66,21 +74,25 @@ type spscRing struct {
 	closed atomic.Bool
 }
 
-func newSPSCRing(size int) *spscRing {
+func newSPSCRing(size int, full *telemetry.Counter) *spscRing {
 	n := 1
 	for n < size {
 		n <<= 1
 	}
-	return &spscRing{buf: make([]measure.Sample, n), mask: uint64(n - 1)}
+	return &spscRing{buf: make([]measure.Sample, n), mask: uint64(n - 1), full: full}
 }
 
 // push enqueues one sample, spinning (with Gosched) while the ring is
 // full — bounded rings mean a slow shard back-pressures its producers
-// instead of growing without limit.
+// instead of growing without limit. Each full encounter (not each spin)
+// counts as one back-pressure event.
 func (r *spscRing) push(s measure.Sample) {
 	t := r.tail.Load()
-	for t-r.head.Load() > r.mask {
-		runtime.Gosched()
+	if t-r.head.Load() > r.mask {
+		r.full.Inc()
+		for t-r.head.Load() > r.mask {
+			runtime.Gosched()
+		}
 	}
 	r.buf[t&r.mask] = s
 	r.tail.Store(t + 1)
@@ -150,6 +162,9 @@ type ShardedIngest struct {
 	counts    []int64 // per-shard samples ingested; worker-owned until Seal
 	wg        sync.WaitGroup
 	sealed    bool
+	// stats is a value copy of cfg.Stats (zero value when absent); all
+	// fields are nil-safe telemetry handles.
+	stats IngestStats
 }
 
 // NewSharded builds the front-end and, in concurrent mode, starts one
@@ -171,6 +186,9 @@ func NewSharded(cfg ShardedConfig) (*ShardedIngest, error) {
 		cfg.Batch = 256
 	}
 	g := &ShardedIngest{cfg: cfg}
+	if cfg.Stats != nil {
+		g.stats = *cfg.Stats
+	}
 	g.shards = make([]measure.SeriesEstimator, cfg.Shards)
 	for i := range g.shards {
 		est, err := cfg.New(i)
@@ -184,7 +202,7 @@ func NewSharded(cfg ShardedConfig) (*ShardedIngest, error) {
 	for p := range g.producers {
 		rings := make([]*spscRing, cfg.Shards)
 		for s := range rings {
-			rings[s] = newSPSCRing(cfg.RingSize)
+			rings[s] = newSPSCRing(cfg.RingSize, g.stats.RingFull)
 		}
 		g.producers[p] = &Producer{ing: g, rings: rings}
 	}
@@ -217,6 +235,7 @@ func (g *ShardedIngest) work(shard int) {
 	defer g.wg.Done()
 	scratch := make([]measure.Sample, g.cfg.Batch)
 	est := g.shards[shard]
+	samples := g.stats.Samples.At(shard) // worker-owned telemetry cell
 	rings := make([]*spscRing, len(g.producers))
 	for p := range g.producers {
 		rings[p] = g.producers[p].rings[shard]
@@ -231,6 +250,7 @@ func (g *ShardedIngest) work(shard int) {
 			if n := r.drain(scratch); n > 0 {
 				measure.UpdateAll(est, scratch[:n])
 				g.counts[shard] += int64(n)
+				samples.Add(int64(n))
 				idle = false
 			} else if r.doneFor() {
 				rings[p] = nil
@@ -260,6 +280,7 @@ func (g *ShardedIngest) Update(k flowkey.Key, w int64, v int64) {
 		s := g.shardOf(k)
 		g.shards[s].Update(k, w, v)
 		g.counts[s]++
+		g.stats.Samples.At(s).Inc()
 		return
 	}
 	g.producers[0].Update(k, w, v)
@@ -273,6 +294,7 @@ func (g *ShardedIngest) UpdateBatch(batch []measure.Sample) {
 			s := g.shardOf(batch[i].Key)
 			g.shards[s].Update(batch[i].Key, batch[i].Window, batch[i].Bytes)
 			g.counts[s]++
+			g.stats.Samples.At(s).Inc()
 		}
 		return
 	}
@@ -287,12 +309,19 @@ func (g *ShardedIngest) Seal() {
 		return
 	}
 	g.sealed = true
+	var t0 time.Time
+	if g.stats.SealNs != nil {
+		t0 = time.Now()
+	}
 	for _, p := range g.producers {
 		p.Close()
 	}
 	g.wg.Wait()
 	for _, s := range g.shards {
 		s.Seal()
+	}
+	if g.stats.SealNs != nil {
+		g.stats.SealNs.Observe(time.Since(t0).Nanoseconds())
 	}
 }
 

@@ -1,0 +1,35 @@
+package wavesketch
+
+import "umon/internal/telemetry"
+
+// IngestStats is the sharded-ingest front-end's operational telemetry.
+// Every field is a nil-safe telemetry handle; a ShardedIngest built
+// without stats carries the zero value and its hot paths pay one nil
+// check per site (BenchmarkShardedIngest covers the disabled path,
+// BenchmarkShardedIngestTelemetry the enabled one).
+type IngestStats struct {
+	// Samples counts ingested samples per shard — shard imbalance is
+	// Sum/Len vs the per-shard series. Each shard worker owns its cell,
+	// so recording never contends.
+	Samples *telemetry.CounterVec
+	// RingFull counts back-pressure events: a producer finding its
+	// (producer, shard) ring full and yielding (one count per full
+	// encounter, not per Gosched spin).
+	RingFull *telemetry.Counter
+	// SealNs observes the Seal barrier wall time: closing producers,
+	// draining rings, folding worker state and sealing the shards.
+	SealNs *telemetry.Histogram
+}
+
+// NewIngestStats registers the ingest metric set for a front-end with n
+// shards (nil reg yields nil, the disabled configuration).
+func NewIngestStats(reg *telemetry.Registry, n int) *IngestStats {
+	if reg == nil {
+		return nil
+	}
+	return &IngestStats{
+		Samples:  reg.CounterVec("umon_ingest_samples_total", "samples ingested per sketch shard", "shard", n),
+		RingFull: reg.Counter("umon_ingest_ring_full_total", "producer back-pressure events (ring full, yielded)"),
+		SealNs:   reg.Histogram("umon_ingest_seal_ns", "Seal barrier wall time (ns)"),
+	}
+}
