@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-accuracy bench-micro bench-ingest bench-baseline bench-query bench-query-baseline vet
+.PHONY: build test test-short test-race bench bench-accuracy bench-micro bench-ingest bench-baseline bench-query bench-query-baseline bench-sim bench-sim-baseline vet
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,9 @@ test-short:
 # Race coverage for the concurrent surfaces: the parallel evaluation
 # harness, the singleflight sim cache, the sharded ingest front-end
 # (rings, shard workers, Seal barrier), the analyzer query plane
-# (memoized reconstruction caches, routing index, parallel replay), and
-# the telemetry plane (atomic counters/histograms, registry, tracer).
+# (memoized reconstruction caches, routing index, parallel replay), the
+# telemetry plane (atomic counters/histograms, registry, tracer), and the
+# netsim event engine (timing wheel vs heap-oracle determinism).
 test-race:
 	$(GO) test -race ./internal/parallel
 	$(GO) test -race ./internal/experiments -run TestParallel
@@ -24,6 +25,7 @@ test-race:
 	$(GO) test -race ./internal/report -run 'TestQueryable'
 	$(GO) test -race ./internal/analyzer -run 'TestAnalyzerConcurrent|TestDetectEventsIncremental'
 	$(GO) test -race ./internal/telemetry
+	$(GO) test -race ./internal/netsim -run 'TestEngineWheelMatchesHeapOracle|TestSimulationWheelMatchesHeapOracle|TestWheel|TestTimerArm'
 
 vet:
 	$(GO) vet ./...
@@ -75,3 +77,22 @@ bench-query:
 bench-query-baseline:
 	$(GO) test -run XXX -bench '$(QUERY_BENCH)' -benchtime 2s -count 5 \
 		./internal/report ./internal/analyzer | tee bench-query.base.txt
+
+# Event-engine scheduling latency (ns/op, allocs): timing wheel vs the
+# in-tree heap oracle at several pending-event counts, the typed DCQCN
+# rearm path, and a full dumbbell simulation. Same benchstat-compatible
+# shape as bench-ingest (create a baseline with `make bench-sim-baseline`).
+SIM_BENCH = EngineSchedule|EngineEventLoopTyped|EngineDCQCNTimerRearm|EngineArmTimers|DumbbellSim
+bench-sim:
+	$(GO) test -run XXX -bench '$(SIM_BENCH)' -benchtime 1s -count 5 \
+		./internal/netsim | tee bench-sim.txt
+	@if command -v benchstat >/dev/null 2>&1 && [ -f bench-sim.base.txt ]; then \
+		benchstat bench-sim.base.txt bench-sim.txt; \
+	else \
+		echo "(benchstat or bench-sim.base.txt missing — raw numbers above)"; \
+	fi
+
+# Save the current event-engine numbers as the comparison baseline.
+bench-sim-baseline:
+	$(GO) test -run XXX -bench '$(SIM_BENCH)' -benchtime 1s -count 5 \
+		./internal/netsim | tee bench-sim.base.txt

@@ -38,6 +38,44 @@ func DefaultDCQCN() DCQCNConfig {
 	}
 }
 
+// --- engine integration: zero-closure self-rearming timer chains ---
+
+// armDCQCNTimers starts the flow's alpha-decay and rate-increase timers as
+// typed events carrying the flow state directly — no closure, no per-arm
+// allocation. Arming is idempotent (flowState.ccArmed); a tick that finds
+// the flow finished disarms the chain instead of rescheduling.
+func (h *host) armDCQCNTimers(fs *flowState) {
+	if fs.ccArmed {
+		return
+	}
+	fs.ccArmed = true
+	cfg := h.net.cfg.DCQCN
+	e := h.net.eng
+	e.push(event{at: e.now + cfg.AlphaTimerNs, kind: evDCQCNAlpha, flow: fs})
+	e.push(event{at: e.now + cfg.RateTimerNs, kind: evDCQCNRate, flow: fs})
+}
+
+// dcqcnAlphaTick runs one evDCQCNAlpha event: decay alpha if the flow has
+// been CNP-quiet, then rearm.
+func (n *Network) dcqcnAlphaTick(fs *flowState) {
+	if fs.finished {
+		fs.ccArmed = false
+		return
+	}
+	fs.cc.onAlphaTimer(n.eng.now)
+	n.eng.push(event{at: n.eng.now + fs.cc.cfg.AlphaTimerNs, kind: evDCQCNAlpha, flow: fs})
+}
+
+// dcqcnRateTick runs one evDCQCNRate event: one rate-increase step, then
+// rearm.
+func (n *Network) dcqcnRateTick(fs *flowState) {
+	if fs.finished {
+		return
+	}
+	fs.cc.onRateTimer()
+	n.eng.push(event{at: n.eng.now + fs.cc.cfg.RateTimerNs, kind: evDCQCNRate, flow: fs})
+}
+
 // dcqcnState is the per-flow rate controller.
 type dcqcnState struct {
 	cfg       DCQCNConfig

@@ -41,6 +41,40 @@ func (c *DCTCPConfig) fill() {
 	}
 }
 
+// --- engine integration: zero-closure self-rearming RTO chain ---
+
+// armRTOTimer arms the window flow's stall-recovery timeout as a typed
+// event carrying the host and flow directly — no closure, no per-arm
+// allocation. Arming is idempotent (flowState.rtoArmed); a tick that finds
+// the flow finished disarms the chain instead of rescheduling.
+func (h *host) armRTOTimer(fs *flowState) {
+	if fs.rtoArmed {
+		return
+	}
+	fs.rtoArmed = true
+	e := h.net.eng
+	e.push(event{at: e.now + fs.win.cfg.RTONs, kind: evRTO, host: h, flow: fs})
+}
+
+// rtoTick runs one evRTO event: on a stall past the timeout, presume tail
+// loss (everything after ackedPSN), rewind and shrink the window; always
+// rearm while the flow is unfinished.
+func (h *host) rtoTick(fs *flowState) {
+	if fs.finished {
+		fs.rtoArmed = false
+		return
+	}
+	rto := fs.win.cfg.RTONs
+	now := h.net.eng.Now()
+	if fs.psn > fs.ackedPSN && now-fs.lastProgressNs >= rto {
+		h.rewind(fs, fs.ackedPSN)
+		fs.win.onLoss()
+		fs.lastProgressNs = now
+		h.trySendWindow(fs)
+	}
+	h.net.eng.push(event{at: now + rto, kind: evRTO, host: h, flow: fs})
+}
+
 // dctcpState is the per-flow window controller.
 type dctcpState struct {
 	cfg      DCTCPConfig

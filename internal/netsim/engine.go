@@ -6,16 +6,72 @@
 // ground-truth congestion episodes.
 package netsim
 
+// The event scheduler is a hierarchical timing wheel (calendar queue).
+// Millions of events per run — serialization completions every ~85 ns,
+// arrivals every 1 µs, CNP/DCQCN/RTO timers every 25–500 µs — used to
+// funnel through one binary min-heap at O(log n) per operation; the wheel
+// schedules and dispatches the near future in O(1) amortized:
+//
+//   - time is divided into 2^bucketShift-ns ticks; the inner wheel holds
+//     one unordered slice ("bucket") per tick for the next numBuckets
+//     ticks (≈262 µs of horizon), so scheduling is an append and a mask;
+//   - events beyond the wheel horizon (RTOs, flow starts, long timers)
+//     wait in a small overflow min-heap — the pre-wheel scheduler, demoted
+//     to the cold path — and cascade into the wheel as it turns;
+//   - dispatch drains the current tick through `cur`, a tiny (at, seq)
+//     min-heap: advancing to a tick heapifies its bucket (O(m)) plus any
+//     overflow events that became in-range, and same-tick events scheduled
+//     *during* dispatch sift into `cur` directly.
+//
+// Determinism is preserved exactly: every event still executes in the
+// global (at, seq) total order. Ticks partition time, ties share a tick,
+// and within `cur` the heap orders by (at, seq) — the same comparator the
+// old single heap used (verified against it event-for-event by the
+// heapMode oracle in engine_oracle_test.go, and byte-identical on the
+// fig10/fig11/fig12 goldens).
+const (
+	// bucketShift sets the tick width: 256 ns, a few serialization times.
+	bucketShift = 8
+	// numBuckets sets the wheel span: 1024 ticks ≈ 262 µs, wide enough
+	// that per-packet events, CNP pacing (25 µs) and both DCQCN timers
+	// (55/150 µs) schedule without touching the overflow heap.
+	numBuckets = 1 << 10
+	bucketMask = numBuckets - 1
+)
+
 // Engine is a deterministic discrete-event scheduler with nanosecond time.
-// The simulator's three per-packet hot paths (serialization completion,
-// link arrival, flow injection) are typed events to avoid the allocation
-// cost of millions of closures; everything else uses plain funcs.
+// All simulator periodic and per-packet work is typed events (no closure
+// allocation, no indirect call): serialization completion, link arrival,
+// flow injection and start, DCQCN alpha/rate timers, go-back-N RTO ticks
+// and PFC pause/resume. Cold or external scheduling uses plain funcs.
 type Engine struct {
-	pq  eventHeap
 	now int64
 	seq uint64
 	// net is set by Network to dispatch typed events.
 	net *Network
+
+	// curTick is the tick whose bucket has been moved into cur; every
+	// pending event at tick ≤ curTick lives in cur, ticks in
+	// (curTick, curTick+numBuckets) live in the wheel, later ones overflow.
+	curTick    int64
+	cur        eventHeap
+	wheel      [][]event // numBuckets unordered per-tick buckets
+	wheelCount int       // events parked in wheel buckets
+	overflow   eventHeap // events ≥ numBuckets ticks ahead
+
+	// heapMode routes everything through the overflow heap alone — the
+	// exact pre-wheel scheduler, kept as the determinism oracle for tests
+	// and as the benchmark baseline. Never set on production paths.
+	heapMode bool
+
+	// Telemetry accumulators: plain (non-atomic) counts folded into the
+	// nil-safe SimStats handles once per 4096 events and at Run exit, so
+	// the per-event cost is one array increment whether or not telemetry
+	// is enabled.
+	schedByKind   [numEventKinds]int64
+	flushedByKind [numEventKinds]int64
+	eventsRun     int64
+	eventsFlushed int64
 }
 
 type eventKind uint8
@@ -25,7 +81,21 @@ const (
 	evFinishTx
 	evArrive
 	evInject
+	evStart      // flow start: set progress clock, inject, arm timers
+	evDCQCNAlpha // DCQCN alpha-decay tick (self-rearming)
+	evDCQCNRate  // DCQCN rate-increase tick (self-rearming)
+	evRTO        // go-back-N stall-recovery tick (self-rearming)
+	evPFCPause   // apply PFC pause to a transmitter
+	evPFCResume  // release PFC pause on a transmitter
+
+	numEventKinds = int(evPFCResume) + 1
 )
+
+// eventKindNames labels the scheduled-events-by-kind telemetry cells.
+var eventKindNames = [numEventKinds]string{
+	"func", "finish_tx", "arrive", "inject", "start",
+	"dcqcn_alpha", "dcqcn_rate", "rto", "pfc_pause", "pfc_resume",
+}
 
 type event struct {
 	at   int64
@@ -41,9 +111,11 @@ type event struct {
 
 // eventHeap is a typed binary min-heap ordered by (at, seq). It is
 // hand-rolled rather than built on container/heap because heap.Push boxes
-// every event into an interface — one heap allocation per scheduled event,
-// millions per simulation. push/pop reuse the same backing array, so the
-// queue reaches a steady state with no per-event allocation at all.
+// every event into an interface — one heap allocation per scheduled event.
+// It serves three roles: the current-tick dispatch heap, the far-future
+// overflow store, and (whole-queue, in heapMode) the pre-wheel oracle.
+// push/pop/heapify reuse the same backing array, so every role reaches a
+// steady state with no per-event allocation at all.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -77,28 +149,50 @@ func (h *eventHeap) pop() event {
 	s[n-1] = event{} // release references
 	s = s[:n-1]
 	*h = s
-	// Sift the new root down.
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= len(s) {
-			break
-		}
-		least := l
-		if r := l + 1; r < len(s) && s.less(r, l) {
-			least = r
-		}
-		if !s.less(least, i) {
-			break
-		}
-		s[i], s[least] = s[least], s[i]
-		i = least
-	}
+	s.down(0)
 	return out
 }
 
-// NewEngine returns an engine at time 0.
-func NewEngine() *Engine { return &Engine{} }
+// down sifts element i toward the leaves until the heap order holds.
+func (h eventHeap) down(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		least := l
+		if r := l + 1; r < len(h) && h.less(r, l) {
+			least = r
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// heapify establishes the heap order over arbitrary contents (Floyd).
+func (h eventHeap) heapify() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// NewEngine returns an engine at time 0. Every wheel bucket starts with a
+// few slots carved out of one contiguous slab, so the schedule path is
+// allocation-free from the first event — not just after every slot has
+// been touched once — and adjacent buckets share cache lines. Buckets that
+// outgrow their slab piece fall back to ordinary append growth.
+func NewEngine() *Engine {
+	const slabPerBucket = 4
+	slab := make([]event, numBuckets*slabPerBucket)
+	wheel := make([][]event, numBuckets)
+	for i := range wheel {
+		wheel[i] = slab[i*slabPerBucket : i*slabPerBucket : (i+1)*slabPerBucket]
+	}
+	return &Engine{wheel: wheel}
+}
 
 // Now returns the current simulation time in nanoseconds.
 func (e *Engine) Now() int64 { return e.now }
@@ -109,7 +203,31 @@ func (e *Engine) push(ev event) {
 	}
 	e.seq++
 	ev.seq = e.seq
-	e.pq.push(ev)
+	e.schedByKind[ev.kind]++
+	if e.heapMode {
+		e.overflow.push(ev)
+		return
+	}
+	e.place(ev)
+}
+
+// place files an already-sequenced event into the tier its tick selects.
+// Ticks at or before curTick (only reachable for the tick being dispatched,
+// since at ≥ now) join the dispatch heap so same-tick scheduling stays in
+// order; in-span ticks append to their wheel bucket in O(1); the far future
+// waits in the overflow heap.
+func (e *Engine) place(ev event) {
+	tick := ev.at >> bucketShift
+	switch {
+	case tick <= e.curTick:
+		e.cur.push(ev)
+	case tick < e.curTick+numBuckets:
+		b := tick & bucketMask
+		e.wheel[b] = append(e.wheel[b], ev)
+		e.wheelCount++
+	default:
+		e.overflow.push(ev)
+	}
 }
 
 // At schedules fn at absolute time t (clamped to now for past times).
@@ -130,40 +248,172 @@ func (e *Engine) afterInject(d int64, h *host, fs *flowState) {
 	e.push(event{at: e.now + d, kind: evInject, host: h, flow: fs})
 }
 
-// Pending reports the number of scheduled events.
-func (e *Engine) Pending() int { return e.pq.Len() }
+func (e *Engine) afterPFC(d int64, p *port, pause bool) {
+	kind := evPFCResume
+	if pause {
+		kind = evPFCPause
+	}
+	e.push(event{at: e.now + d, kind: kind, port: p})
+}
 
-// Run executes events until the queue drains or the clock passes `until`
-// (inclusive). Events scheduled beyond the horizon stay queued. It returns
-// the number of events executed.
-func (e *Engine) Run(until int64) int {
-	n := 0
-	for e.pq.Len() > 0 {
-		if e.pq[0].at > until {
-			break
-		}
-		ev := e.pq.pop()
-		e.now = ev.at
-		switch ev.kind {
-		case evFunc:
-			ev.fn()
-		case evFinishTx:
-			e.net.finishTx(ev.port, ev.pkt)
-		case evArrive:
-			e.net.arrive(ev.node, 0, ev.pkt)
-		case evInject:
-			ev.host.inject(ev.flow)
-		}
-		n++
-		// Flush the event counter in 4096-event chunks so a live scrape
-		// sees progress without an atomic add per event; Run folds in the
-		// remainder.
-		if n&4095 == 0 {
-			e.net.stats.Events.Add(4096)
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.cur) + e.wheelCount + len(e.overflow) }
+
+// advance turns the wheel to the given tick: overflow events that came
+// in-range cascade into the wheel (or straight into cur), then the tick's
+// bucket is folded into cur and heapified. The caller guarantees cur holds
+// no event earlier than the tick (it is drained, or drained up to the
+// horizon).
+func (e *Engine) advance(tick int64) {
+	e.curTick = tick
+	for len(e.overflow) > 0 && e.overflow[0].at>>bucketShift < tick+numBuckets {
+		ev := e.overflow.pop()
+		if ev.at>>bucketShift <= tick {
+			e.cur = append(e.cur, ev) // heapified below
+		} else {
+			b := ev.at >> bucketShift & bucketMask
+			e.wheel[b] = append(e.wheel[b], ev)
+			e.wheelCount++
 		}
 	}
+	b := tick & bucketMask
+	if s := e.wheel[b]; len(s) > 0 {
+		e.cur = append(e.cur, s...)
+		e.wheelCount -= len(s)
+		clear(s)
+		e.wheel[b] = s[:0]
+	}
+	e.cur.heapify()
+}
+
+// advanceNext turns the wheel to the earliest pending tick. With buckets
+// in-span the scan walks at most numBuckets empty slots (cheap: one slice
+// length check each, amortized far below one per event); with only
+// overflow pending it jumps straight to the overflow's earliest tick.
+func (e *Engine) advanceNext() {
+	if e.wheelCount == 0 {
+		e.advance(e.overflow[0].at >> bucketShift)
+		return
+	}
+	t := e.curTick + 1
+	for len(e.wheel[t&bucketMask]) == 0 {
+		t++
+	}
+	e.advance(t)
+}
+
+// Run executes events until the queue drains or the clock passes `until`
+// (inclusive). Events scheduled beyond the horizon stay queued (including
+// partially dispatched ticks: cur persists across calls). It returns the
+// number of events executed.
+func (e *Engine) Run(until int64) int {
+	if e.heapMode {
+		return e.runHeap(until)
+	}
+	n := 0
+	for {
+		for len(e.cur) == 0 {
+			if e.wheelCount == 0 && len(e.overflow) == 0 {
+				goto drained
+			}
+			e.advanceNext()
+		}
+		if e.cur[0].at > until {
+			break
+		}
+		ev := e.cur.pop()
+		e.now = ev.at
+		e.dispatch(ev)
+		n++
+		// Flush telemetry in 4096-event chunks so a live scrape sees
+		// progress without an atomic add per event.
+		if n&4095 == 0 {
+			e.eventsRun += 4096
+			e.flushStats()
+		}
+	}
+drained:
+	e.eventsRun += int64(n & 4095)
+	e.flushStats()
 	if e.now < until {
 		e.now = until
 	}
 	return n
+}
+
+// runHeap is the pre-wheel dispatch loop over the single binary heap,
+// retained verbatim as the determinism oracle and benchmark baseline.
+func (e *Engine) runHeap(until int64) int {
+	n := 0
+	for len(e.overflow) > 0 {
+		if e.overflow[0].at > until {
+			break
+		}
+		ev := e.overflow.pop()
+		e.now = ev.at
+		e.dispatch(ev)
+		n++
+		if n&4095 == 0 {
+			e.eventsRun += 4096
+			e.flushStats()
+		}
+	}
+	e.eventsRun += int64(n & 4095)
+	e.flushStats()
+	if e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// dispatch executes one event. Typed events carry their target state
+// directly — no closure environment, no indirect call.
+func (e *Engine) dispatch(ev event) {
+	switch ev.kind {
+	case evFunc:
+		ev.fn()
+	case evFinishTx:
+		e.net.finishTx(ev.port, ev.pkt)
+	case evArrive:
+		e.net.arrive(ev.node, 0, ev.pkt)
+	case evInject:
+		ev.host.inject(ev.flow)
+	case evStart:
+		ev.host.startFlow(ev.flow)
+	case evDCQCNAlpha:
+		e.net.dcqcnAlphaTick(ev.flow)
+	case evDCQCNRate:
+		e.net.dcqcnRateTick(ev.flow)
+	case evRTO:
+		ev.host.rtoTick(ev.flow)
+	case evPFCPause:
+		e.net.setPaused(ev.port, true)
+	case evPFCResume:
+		e.net.setPaused(ev.port, false)
+	}
+}
+
+// flushStats folds the engine's plain accumulators into the simulation's
+// telemetry handles (all nil-safe no-ops when telemetry is disabled). The
+// depth gauges are high-water marks: wheel occupancy counts cur plus the
+// in-span buckets, overflow counts the far-future heap.
+func (e *Engine) flushStats() {
+	if e.net == nil {
+		return
+	}
+	st := &e.net.stats
+	if d := e.eventsRun - e.eventsFlushed; d != 0 {
+		st.Events.Add(d)
+		e.eventsFlushed = e.eventsRun
+	}
+	st.WheelDepth.SetMax(int64(len(e.cur) + e.wheelCount))
+	st.OverflowDepth.SetMax(int64(len(e.overflow)))
+	if v := st.EventsByKind; v != nil {
+		for k := range e.schedByKind {
+			if d := e.schedByKind[k] - e.flushedByKind[k]; d != 0 {
+				v.At(k).Add(d)
+				e.flushedByKind[k] = e.schedByKind[k]
+			}
+		}
+	}
 }

@@ -1,0 +1,138 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Engine scheduling benchmarks: the timing wheel against the pre-wheel
+// binary heap (heapMode) at realistic pending-event counts. A 20 ms
+// fat-tree run keeps hundreds to a few thousand events pending — per-port
+// serialization completions, in-flight arrivals, per-flow timers — so the
+// heap paid O(log n) sift work per operation where the wheel pays an
+// append and a mask.
+//
+// `make bench-sim` / `make bench-sim-baseline` run these benchstat-style.
+
+// benchSchedule drives a steady-state churn: `pending` self-rescheduling
+// events whose delays cycle through the simulator's characteristic
+// horizons (serialization ~85 ns, propagation 1 µs, CNP pacing 25 µs,
+// DCQCN timers 55/150 µs — the last beyond one bucket span only for the
+// overflow=also case).
+func benchSchedule(b *testing.B, heapMode bool, pending int) {
+	delays := [...]int64{85, 85, 85, 1000, 1000, 8192, 25_000, 55_000}
+	e := NewEngine()
+	e.heapMode = heapMode
+	executed := 0
+	var fn func()
+	i := 0
+	fn = func() {
+		executed++
+		i++
+		e.After(delays[i&7], fn)
+	}
+	for j := 0; j < pending; j++ {
+		e.At(int64(j%1000)+1, fn)
+	}
+	// Warm all tiers (bucket slices, cur, overflow) before timing.
+	horizon := int64(1_000_000)
+	e.Run(horizon)
+	executed = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for executed < b.N {
+		horizon += 200_000
+		e.Run(horizon)
+	}
+}
+
+func BenchmarkEngineSchedule(b *testing.B) {
+	for _, impl := range []struct {
+		name string
+		heap bool
+	}{{"wheel", false}, {"heap", true}} {
+		for _, pending := range []int{64, 1024, 8192} {
+			b.Run(fmt.Sprintf("impl=%s/pending=%d", impl.name, pending), func(b *testing.B) {
+				benchSchedule(b, impl.heap, pending)
+			})
+		}
+	}
+}
+
+// BenchmarkEngineEventLoopTyped mirrors the root-level
+// BenchmarkEngineEventLoop shape (schedule a batch, drain it) but on both
+// scheduler implementations, for a like-for-like wheel-vs-heap read.
+func BenchmarkEngineEventLoopTyped(b *testing.B) {
+	for _, impl := range []struct {
+		name string
+		heap bool
+	}{{"wheel", false}, {"heap", true}} {
+		b.Run("impl="+impl.name, func(b *testing.B) {
+			e := NewEngine()
+			e.heapMode = impl.heap
+			var sink int
+			fn := func() { sink++ }
+			b.ReportAllocs()
+			b.ResetTimer()
+			const batch = 1024
+			var now int64
+			for i := 0; i < b.N; i += batch {
+				n := batch
+				if b.N-i < n {
+					n = b.N - i
+				}
+				for j := 0; j < n; j++ {
+					now++
+					e.At(now, fn)
+				}
+				e.Run(now)
+			}
+			if sink != b.N {
+				b.Fatalf("ran %d events, want %d", sink, b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineDCQCNTimerRearm measures one self-rearming typed DCQCN
+// alpha tick per iteration — the path that used to require a closure
+// environment per arm. Expect 0 allocs/op.
+func BenchmarkEngineDCQCNTimerRearm(b *testing.B) {
+	topo, _ := Dumbbell(1)
+	n, _ := New(DefaultConfig(topo))
+	fs := &flowState{cc: newDCQCNState(n.cfg.DCQCN)}
+	e := n.eng
+	e.push(event{at: n.cfg.DCQCN.AlphaTimerNs, kind: evDCQCNAlpha, flow: fs})
+	step := n.cfg.DCQCN.AlphaTimerNs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(int64(i+1) * step)
+	}
+}
+
+// BenchmarkEngineArmTimers measures arming a flow's DCQCN timer pair from
+// scratch — 4 allocs/op as closures (2 funcs + 2 self-reference cells),
+// 0 as typed events.
+func BenchmarkEngineArmTimers(b *testing.B) {
+	topo, _ := Dumbbell(1)
+	n, _ := New(DefaultConfig(topo))
+	h := n.hosts[0]
+	fs := &flowState{cc: newDCQCNState(n.cfg.DCQCN)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.ccArmed = false
+		h.armDCQCNTimers(fs)
+		if i&255 == 255 {
+			b.StopTimer()
+			// Drain with the flow marked finished so every pending tick
+			// disarms instead of rearming — the queue returns to empty and
+			// arming stays the only measured operation.
+			fs.finished = true
+			n.eng.Run(n.eng.Now() + n.cfg.DCQCN.RateTimerNs + 1)
+			fs.finished = false
+			b.StartTimer()
+		}
+	}
+}

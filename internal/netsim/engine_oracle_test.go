@@ -1,0 +1,187 @@
+package netsim
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"umon/internal/workload"
+)
+
+// normalizeTrace sorts each episode's participant-flow list: it is built
+// by map iteration, so its order is not deterministic even between two
+// runs of the same scheduler and must not fail the comparison.
+func normalizeTrace(tr *Trace) {
+	for i := range tr.Episodes {
+		f := tr.Episodes[i].Flows
+		sort.Slice(f, func(a, b int) bool { return f[a] < f[b] })
+	}
+}
+
+// The timing wheel must reproduce the pre-wheel binary heap's execution
+// order exactly: both dispatch in the global (at, seq) total order. The
+// old scheduler survives in-tree as Engine.heapMode (it doubles as the
+// overflow store), so the oracle is a flag flip, not a build tag.
+
+// execRecord is one executed event's identity for order comparison.
+type execRecord struct {
+	at  int64
+	id  int
+	now int64
+}
+
+// driveScript pushes a fixed pseudo-random event storm through an engine
+// and records the execution order. Events rescheduling themselves, ties,
+// bucket-boundary times, past-time clamps and far-future times are all in
+// the mix.
+func driveScript(e *Engine) []execRecord {
+	var log []execRecord
+	rng := rngState{s: 0x9e3779b97f4a7c15}
+	id := 0
+	var reschedule func(depth int) func()
+	reschedule = func(depth int) func() {
+		me := id
+		id++
+		return func() {
+			log = append(log, execRecord{at: e.Now(), id: me, now: e.Now()})
+			if depth <= 0 {
+				return
+			}
+			// Fan out: one near event, sometimes a tie, sometimes far.
+			d := int64(rng.next() % 3000) // spans several buckets
+			e.After(d, reschedule(depth-1))
+			if rng.next()%4 == 0 {
+				e.After(d, reschedule(depth-1)) // same-time tie
+			}
+			if rng.next()%16 == 0 {
+				e.After(int64(numBuckets<<bucketShift)+int64(rng.next()%100000),
+					reschedule(depth-1)) // beyond the wheel span
+			}
+			if rng.next()%8 == 0 {
+				e.At(e.Now()-10, reschedule(depth-1)) // past: clamps to now
+			}
+		}
+	}
+	for i := 0; i < 64; i++ {
+		t := int64(rng.next() % 5000)
+		if i%7 == 0 {
+			t = int64(i/7) << bucketShift // exact bucket boundaries
+		}
+		e.At(t, reschedule(6))
+	}
+	// Run in horizon slices to exercise mid-bucket clamping and re-entry.
+	for _, until := range []int64{100, 4096, 4097, 1 << 14, 1 << 18, 1 << 30} {
+		e.Run(until)
+	}
+	return log
+}
+
+// TestEngineWheelMatchesHeapOracle replays an identical event storm
+// through the wheel and the heap oracle and requires event-for-event
+// identical execution.
+func TestEngineWheelMatchesHeapOracle(t *testing.T) {
+	wheel := driveScript(NewEngine())
+	oracle := NewEngine()
+	oracle.heapMode = true
+	heap := driveScript(oracle)
+	if len(wheel) == 0 {
+		t.Fatal("script executed no events")
+	}
+	if len(wheel) != len(heap) {
+		t.Fatalf("executed %d events on the wheel, %d on the heap", len(wheel), len(heap))
+	}
+	for i := range wheel {
+		if wheel[i] != heap[i] {
+			t.Fatalf("execution diverges at event %d: wheel %+v vs heap %+v", i, wheel[i], heap[i])
+		}
+	}
+}
+
+// oracleTrace runs one simulation scenario with the given scheduler.
+func oracleTrace(t *testing.T, heapMode bool, build func(n *Network)) *Trace {
+	t.Helper()
+	return buildOracleNet(t, heapMode, build).Run(3_000_000)
+}
+
+func buildOracleNet(t *testing.T, heapMode bool, build func(n *Network)) *Network {
+	t.Helper()
+	topo, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(topo)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.eng.heapMode = heapMode
+	build(n)
+	return n
+}
+
+// TestSimulationWheelMatchesHeapOracle runs full simulations — DCQCN
+// workload, DCTCP flows, PFC lossless incast — under both schedulers and
+// requires deeply identical traces (every packet record, CE mark, episode,
+// queue sample and flow stat).
+func TestSimulationWheelMatchesHeapOracle(t *testing.T) {
+	scenarios := map[string]func(n *Network){
+		"dcqcn-workload": func(n *Network) {
+			flows, err := workload.Generate(workload.Config{
+				Dist: workload.FacebookHadoop(), Load: 0.3, Hosts: n.topo.Hosts,
+				LinkBps: n.cfg.LinkBps, DurationNs: 2_000_000, Seed: 11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range flows {
+				if _, err := n.AddFlow(FlowSpec{Src: f.Src, Dst: f.Dst, Bytes: f.Bytes, StartNs: f.StartNs}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+		"dctcp-and-onoff": func(n *Network) {
+			n.AddFlow(FlowSpec{Src: 0, Dst: 15, Bytes: 8_000_000, CC: CCDCTCP})
+			n.AddFlow(FlowSpec{Src: 1, Dst: 15, Bytes: 8_000_000, CC: CCDCTCP, StartNs: 5_000})
+			n.AddFlow(FlowSpec{Src: 2, Dst: 15, Bytes: 1 << 30, FixedRateBps: 60e9,
+				OnNs: 100_000, OffNs: 150_000})
+			n.AddFlow(FlowSpec{Src: 3, Dst: 14, Bytes: 4_000_000, Reliable: true, StartNs: 12_345})
+		},
+	}
+	for name, build := range scenarios {
+		got := oracleTrace(t, false, build)
+		want := oracleTrace(t, true, build)
+		if got.Events != want.Events {
+			t.Errorf("%s: wheel ran %d events, heap %d", name, got.Events, want.Events)
+		}
+		normalizeTrace(got)
+		normalizeTrace(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: wheel and heap traces differ", name)
+		}
+	}
+	// PFC incast on a dumbbell (pause/resume typed events in play).
+	pfc := func(heapMode bool) *Trace {
+		topo, _ := Dumbbell(8)
+		cfg := DefaultConfig(topo)
+		cfg.BufferBytes = 400 << 10
+		cfg.PFC = PFCConfig{Enabled: true, XoffBytes: 150 << 10, XonBytes: 75 << 10}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.eng.heapMode = heapMode
+		for s := 0; s < 8; s++ {
+			n.AddFlow(FlowSpec{Src: s, Dst: 8, Bytes: 5_000_000, StartNs: int64(s) * 1000})
+		}
+		return n.Run(3_000_000)
+	}
+	got, want := pfc(false), pfc(true)
+	if len(got.PFCLog) == 0 {
+		t.Error("pfc-incast: scenario generated no PFC records")
+	}
+	normalizeTrace(got)
+	normalizeTrace(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("pfc-incast: wheel and heap traces differ")
+	}
+}

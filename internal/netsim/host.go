@@ -62,6 +62,12 @@ type flowState struct {
 	// pacing marks a scheduled self-paced inject event (rate flows), so a
 	// NAK rewind knows whether to restart the chain.
 	pacing bool
+	// ccArmed / rtoArmed make timer arming idempotent: each self-rearming
+	// typed tick chain exists at most once per flow, a stale tick after
+	// finish disarms the chain, and re-arming a live chain is a no-op —
+	// all without allocating (the tick events carry the flow directly).
+	ccArmed  bool
+	rtoArmed bool
 }
 
 type host struct {
@@ -143,16 +149,20 @@ func (n *Network) AddFlow(spec FlowSpec) (int32, error) {
 		ID: id, Key: key, Src: spec.Src, Dst: spec.Dst,
 		Bytes: spec.Bytes, StartNs: spec.StartNs,
 	})
-	n.eng.At(spec.StartNs, func() {
-		fs.lastProgressNs = n.eng.Now()
-		h.inject(fs)
-		if fs.win != nil {
-			h.armRTOTimer(fs)
-		} else if !fs.cc.fixed {
-			h.armDCQCNTimers(fs)
-		}
-	})
+	n.eng.push(event{at: spec.StartNs, kind: evStart, host: h, flow: fs})
 	return id, nil
+}
+
+// startFlow runs a flow's evStart event: stamp the progress clock, inject
+// the first segment(s) and arm the flow's timer chains.
+func (h *host) startFlow(fs *flowState) {
+	fs.lastProgressNs = h.net.eng.Now()
+	h.inject(fs)
+	if fs.win != nil {
+		h.armRTOTimer(fs)
+	} else if !fs.cc.fixed {
+		h.armDCQCNTimers(fs)
+	}
 }
 
 // inject drives a flow: window flows send up to cwnd, rate flows emit one
@@ -425,49 +435,6 @@ func (h *host) receiveAck(pkt *Packet, now int64) {
 		return
 	}
 	h.trySendWindow(fs)
-}
-
-// armRTOTimer arms the window flow's stall-recovery timeout.
-func (h *host) armRTOTimer(fs *flowState) {
-	rto := fs.win.cfg.RTONs
-	var tick func()
-	tick = func() {
-		if fs.finished {
-			return
-		}
-		now := h.net.eng.Now()
-		if fs.psn > fs.ackedPSN && now-fs.lastProgressNs >= rto {
-			// Tail loss: everything after ackedPSN is presumed lost.
-			h.rewind(fs, fs.ackedPSN)
-			fs.win.onLoss()
-			fs.lastProgressNs = now
-			h.trySendWindow(fs)
-		}
-		h.net.eng.After(rto, tick)
-	}
-	h.net.eng.After(rto, tick)
-}
-
-// armDCQCNTimers starts the flow's alpha-decay and rate-increase timers.
-func (h *host) armDCQCNTimers(fs *flowState) {
-	cfg := h.net.cfg.DCQCN
-	var alphaTick, rateTick func()
-	alphaTick = func() {
-		if fs.finished {
-			return
-		}
-		fs.cc.onAlphaTimer(h.net.eng.Now())
-		h.net.eng.After(cfg.AlphaTimerNs, alphaTick)
-	}
-	rateTick = func() {
-		if fs.finished {
-			return
-		}
-		fs.cc.onRateTimer()
-		h.net.eng.After(cfg.RateTimerNs, rateTick)
-	}
-	h.net.eng.After(cfg.AlphaTimerNs, alphaTick)
-	h.net.eng.After(cfg.RateTimerNs, rateTick)
 }
 
 // FlowRate reports the current sending rate of a flow in bps (for tests).

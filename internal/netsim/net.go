@@ -541,7 +541,6 @@ func (n *Network) Run(untilNs int64) *Trace {
 	n.scheduleQueueSampling(untilNs)
 	events := n.eng.Run(untilNs)
 	n.trace.Events = events
-	n.stats.Events.Add(int64(events & 4095)) // chunks of 4096 flushed live by the engine
 	for v := n.topo.Hosts; v < n.topo.Nodes(); v++ {
 		for _, p := range n.ports[v] {
 			if p.epActive {

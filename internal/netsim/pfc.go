@@ -60,7 +60,7 @@ func (n *Network) sendPause(sw NodeID, pause bool) {
 	n.trace.PFCLog = append(n.trace.PFCLog, PFCRecord{Ns: now, Switch: n.switchIndex(sw), Pause: pause})
 	for _, p := range n.ports[sw] {
 		feeder := n.ports[p.peer][p.peerPort]
-		n.eng.After(n.cfg.PropDelayNs, func() { n.setPaused(feeder, pause) })
+		n.eng.afterPFC(n.cfg.PropDelayNs, feeder, pause)
 	}
 }
 

@@ -165,19 +165,35 @@ func (r *Registry) CounterVec(family, help, label string, n int) *CounterVec {
 	if r == nil || n <= 0 {
 		return nil
 	}
+	values := make([]string, n)
+	for i := range values {
+		values[i] = fmt.Sprint(i)
+	}
+	return r.CounterVecL(family, help, label, values)
+}
+
+// CounterVecL registers a counter family with one padded cell per label
+// value, exposed as series label=values[i]. Cells are addressed by index
+// (At(i) maps to values[i]), so callers with a natural enumeration — event
+// kinds, shard names — get human-readable series at the same cost as
+// CounterVec.
+func (r *Registry) CounterVecL(family, help, label string, values []string) *CounterVec {
+	if r == nil || len(values) == 0 {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if e, ok := r.byName[family+"[vec]"]; ok {
 		return e.m.(*vecHandle).vec
 	}
-	v := &CounterVec{cells: make([]Counter, n)}
+	v := &CounterVec{cells: make([]Counter, len(values))}
 	// Register the vec under a synthetic key for idempotence, plus one
 	// entry per shard series for exposition.
 	r.byName[family+"[vec]"] = &entry{family: family, m: &vecHandle{vec: v}}
-	for i := 0; i < n; i++ {
+	for i, val := range values {
 		e := &entry{
 			family: family,
-			labels: fmt.Sprintf("%s=%q", label, fmt.Sprint(i)),
+			labels: fmt.Sprintf("%s=%q", label, val),
 			help:   help,
 			kind:   KindCounter,
 			m:      &v.cells[i],
