@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-accuracy bench-micro bench-ingest bench-baseline bench-query bench-query-baseline bench-sim bench-sim-baseline vet
+.PHONY: build test test-short test-race bench bench-accuracy bench-micro bench-ingest bench-baseline bench-query bench-query-baseline bench-sim bench-sim-baseline bench-mirror bench-mirror-baseline fuzz-seed vet
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,10 @@ test-short:
 # harness, the singleflight sim cache, the sharded ingest front-end
 # (rings, shard workers, Seal barrier), the analyzer query plane
 # (memoized reconstruction caches, routing index, parallel replay), the
-# telemetry plane (atomic counters/histograms, registry, tracer), and the
-# netsim event engine (timing wheel vs heap-oracle determinism).
+# telemetry plane (atomic counters/histograms, registry, tracer), the
+# netsim event engine (timing wheel vs heap-oracle determinism), and the
+# zero-copy mirror datapath (mbuf pool free lists/refcounts, pcapio
+# block-buffered reader/writer, in-place packet views).
 test-race:
 	$(GO) test -race ./internal/parallel
 	$(GO) test -race ./internal/experiments -run TestParallel
@@ -26,6 +28,15 @@ test-race:
 	$(GO) test -race ./internal/analyzer -run 'TestAnalyzerConcurrent|TestDetectEventsIncremental'
 	$(GO) test -race ./internal/telemetry
 	$(GO) test -race ./internal/netsim -run 'TestEngineWheelMatchesHeapOracle|TestSimulationWheelMatchesHeapOracle|TestWheel|TestTimerArm'
+	$(GO) test -race ./internal/mbuf
+	$(GO) test -race ./internal/pcapio
+	$(GO) test -race ./internal/packet
+
+# Replay the fuzz seed corpora (the f.Add inputs) as plain regression
+# tests: go test runs every seed through the fuzz targets without the
+# mutation engine. CI runs this; `go test -fuzz` explores further locally.
+fuzz-seed:
+	$(GO) test -run 'Fuzz' ./internal/packet ./internal/pcapio -count 1
 
 vet:
 	$(GO) vet ./...
@@ -96,3 +107,25 @@ bench-sim:
 bench-sim-baseline:
 	$(GO) test -run XXX -bench '$(SIM_BENCH)' -benchtime 1s -count 5 \
 		./internal/netsim | tee bench-sim.base.txt
+
+# Mirror-datapath throughput (ns/op, MB/s, allocs): pooled buffer cycling,
+# batched pcap read/write, in-place mirror decode, and the end-to-end
+# read→decode→cluster ingest. Writes BENCH_mirror.json (via benchjson) so
+# CI and scripts can consume the numbers; compares against the saved
+# baseline with benchstat when available (create one with
+# `make bench-mirror-baseline`).
+MIRROR_BENCH = MbufPool|PcapRead|PcapWrite|DecodeMirror|EncodeMirror|AppendMirror|MirrorReadDecode|MirrorIngestE2E
+bench-mirror:
+	$(GO) test -run XXX -bench '$(MIRROR_BENCH)' -benchtime 2s -count 5 \
+		./internal/mbuf ./internal/pcapio ./internal/packet ./internal/analyzer | tee bench-mirror.txt
+	$(GO) run ./cmd/benchjson -o BENCH_mirror.json bench-mirror.txt
+	@if command -v benchstat >/dev/null 2>&1 && [ -f bench-mirror.base.txt ]; then \
+		benchstat bench-mirror.base.txt bench-mirror.txt; \
+	else \
+		echo "(benchstat or bench-mirror.base.txt missing — raw numbers above)"; \
+	fi
+
+# Save the current mirror-datapath numbers as the comparison baseline.
+bench-mirror-baseline:
+	$(GO) test -run XXX -bench '$(MIRROR_BENCH)' -benchtime 2s -count 5 \
+		./internal/mbuf ./internal/pcapio ./internal/packet ./internal/analyzer | tee bench-mirror.base.txt

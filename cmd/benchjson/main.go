@@ -1,0 +1,205 @@
+// benchjson converts `go test -bench` text output into machine-readable
+// JSON, so CI and scripts can track benchmark numbers without scraping.
+// Repeated runs of one benchmark (-count N) are aggregated by median,
+// which is what benchstat centers on too.
+//
+// Usage:
+//
+//	go test -bench . | benchjson -o BENCH.json
+//	benchjson -o BENCH.json bench-mirror.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one aggregated benchmark in the JSON output.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Runs is how many lines (typically -count) were aggregated.
+	Runs int `json:"runs"`
+	// Iterations is the median b.N across runs.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the median time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerS is the median throughput, when the benchmark reports one.
+	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// BytesPerOp and AllocsPerOp are the median allocation figures, when
+	// reported (-benchmem or b.ReportAllocs).
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Unit       string   `json:"unit"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+type sample struct {
+	iters       int64
+	nsPerOp     float64
+	mbPerS      *float64
+	bytesPerOp  *float64
+	allocsPerOp *float64
+}
+
+// parseLine parses one "BenchmarkX-8  N  12.3 ns/op ..." line; ok is
+// false for non-benchmark lines.
+func parseLine(line string) (name string, s sample, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", sample{}, false
+	}
+	name = strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", sample{}, false
+	}
+	s.iters = iters
+	// The rest is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", sample{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.nsPerOp = v
+		case "MB/s":
+			s.mbPerS = &v
+		case "B/op":
+			s.bytesPerOp = &v
+		case "allocs/op":
+			s.allocsPerOp = &v
+		}
+	}
+	if s.nsPerOp == 0 && len(fields) == 2 {
+		return "", sample{}, false
+	}
+	return name, s, true
+}
+
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// aggregate groups parsed lines by name, preserving first-seen order.
+func aggregate(r io.Reader) ([]Result, error) {
+	samples := map[string][]sample{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, s, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if _, seen := samples[name]; !seen {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	results := make([]Result, 0, len(order))
+	for _, name := range order {
+		ss := samples[name]
+		res := Result{Name: name, Runs: len(ss)}
+		var ns, iters, mbs, bys, als []float64
+		for _, s := range ss {
+			ns = append(ns, s.nsPerOp)
+			iters = append(iters, float64(s.iters))
+			if s.mbPerS != nil {
+				mbs = append(mbs, *s.mbPerS)
+			}
+			if s.bytesPerOp != nil {
+				bys = append(bys, *s.bytesPerOp)
+			}
+			if s.allocsPerOp != nil {
+				als = append(als, *s.allocsPerOp)
+			}
+		}
+		res.NsPerOp = median(ns)
+		res.Iterations = int64(median(iters))
+		if len(mbs) > 0 {
+			res.MBPerS = median(mbs)
+		}
+		if len(bys) > 0 {
+			v := median(bys)
+			res.BytesPerOp = &v
+		}
+		if len(als) > 0 {
+			v := median(als)
+			res.AllocsPerOp = &v
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func run(in io.Reader, out io.Writer) error {
+	results, err := aggregate(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines in input")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report{Unit: "median over runs", Benchmarks: results})
+}
+
+func main() {
+	outPath := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := run(in, out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: umon/internal/pcapio
+cpu: whatever
+BenchmarkPcapReadBatch-8    	178334467	        13.62 ns/op	4846.36 MB/s	       0 B/op	       0 allocs/op
+BenchmarkPcapReadBatch-8    	170000000	        14.00 ns/op	4700.00 MB/s	       0 B/op	       0 allocs/op
+BenchmarkPcapReadBatch-8    	180000000	        13.40 ns/op	4900.00 MB/s	       0 B/op	       0 allocs/op
+BenchmarkPcapWritePacket-8  	71778598	        16.01 ns/op	4123.34 MB/s	      16 B/op	       1 allocs/op
+PASS
+ok  	umon/internal/pcapio	3.801s
+`
+
+func TestParseLine(t *testing.T) {
+	name, s, ok := parseLine("BenchmarkDecodeMirror-8 \t 24725103 \t 47.74 ns/op \t 0 B/op \t 0 allocs/op")
+	if !ok || name != "DecodeMirror" {
+		t.Fatalf("parse = %q, %v", name, ok)
+	}
+	if s.nsPerOp != 47.74 || s.iters != 24725103 {
+		t.Errorf("sample = %+v", s)
+	}
+	if s.bytesPerOp == nil || *s.bytesPerOp != 0 || s.allocsPerOp == nil || *s.allocsPerOp != 0 {
+		t.Errorf("alloc fields = %+v", s)
+	}
+	if _, _, ok := parseLine("ok  \tumon/internal/pcapio\t3.801s"); ok {
+		t.Error("non-benchmark line accepted")
+	}
+	if _, _, ok := parseLine("PASS"); ok {
+		t.Error("PASS line accepted")
+	}
+	// A name without the -procs suffix still parses.
+	if name, _, ok := parseLine("BenchmarkX 100 5.0 ns/op"); !ok || name != "X" {
+		t.Errorf("suffixless parse = %q, %v", name, ok)
+	}
+}
+
+func TestAggregateMedians(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(benchOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(rep.Benchmarks))
+	}
+	rb := rep.Benchmarks[0]
+	if rb.Name != "PcapReadBatch" || rb.Runs != 3 {
+		t.Fatalf("first = %+v", rb)
+	}
+	if rb.NsPerOp != 13.62 { // median of 13.62, 14.00, 13.40
+		t.Errorf("median ns/op = %v, want 13.62", rb.NsPerOp)
+	}
+	if rb.MBPerS != 4846.36 {
+		t.Errorf("median MB/s = %v, want 4846.36", rb.MBPerS)
+	}
+	if rb.AllocsPerOp == nil || *rb.AllocsPerOp != 0 {
+		t.Errorf("allocs = %v", rb.AllocsPerOp)
+	}
+	wp := rep.Benchmarks[1]
+	if wp.Name != "PcapWritePacket" || wp.Runs != 1 || *wp.AllocsPerOp != 1 {
+		t.Errorf("second = %+v", wp)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("no benchmarks here\n"), &out); err == nil {
+		t.Error("empty input must error")
+	}
+}

@@ -16,12 +16,14 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"umon/internal/analyzer"
+	"umon/internal/mbuf"
 	"umon/internal/measure"
 	"umon/internal/parallel"
 	"umon/internal/pcapio"
@@ -81,21 +83,34 @@ func run(mirrorPath, reportDir string, gapNs int64, top int, replayMarginNs int6
 		return err
 	}
 	defer f.Close()
-	rd, err := pcapio.NewReader(f)
+	// Stream the capture in batches of pooled-buffer views: the analyzer's
+	// decode is in-place, so no per-packet copy ever happens and memory
+	// stays bounded by the batch in flight rather than the file size.
+	pool := mbuf.New(mbuf.Config{Stats: mbuf.NewPoolStats(reg)})
+	rd, err := pcapio.NewReaderOpts(f, pcapio.ReaderOpts{Pool: pool})
 	if err != nil {
 		return fmt.Errorf("reading %s: %w", mirrorPath, err)
 	}
-	pkts, err := rd.ReadAll()
-	if err != nil {
-		return fmt.Errorf("reading %s: %w", mirrorPath, err)
-	}
+	defer rd.Close()
 	var badMirror int
 	span := tracer.Start("mirror_ingest")
-	for _, p := range pkts {
-		if err := a.AddMirrorPacket(p.Data); err != nil {
-			badMirror++
+	var batch pcapio.Batch
+	for {
+		n, err := rd.ReadBatch(&batch, pcapio.DefaultBatchSize)
+		for _, p := range batch.Pkts[:n] {
+			if err := a.AddMirrorPacket(p.Data); err != nil {
+				badMirror++
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			span.End()
+			return fmt.Errorf("reading %s: %w", mirrorPath, err)
 		}
 	}
+	batch.Release()
 	span.End()
 	fmt.Printf("mirrors       %d packets ingested, %d unparseable\n", a.Mirrors(), badMirror)
 

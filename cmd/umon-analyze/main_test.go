@@ -38,6 +38,9 @@ func writeMirrorPcap(t *testing.T, path string) {
 			t.Fatal(err)
 		}
 	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestAnalyzeRuns(t *testing.T) {

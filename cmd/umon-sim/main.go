@@ -145,11 +145,15 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string
 		}
 		ingStats.Samples.At(host).Inc()
 	}
+	// One scratch buffer serves every mirror encode: WritePacket copies the
+	// record into the writer's pooled block before returning, so the bytes
+	// need not outlive the call.
+	mirrorScratch := make([]byte, 0, packet.MirrorEncodedLen)
 	n.OnSwitchCE = func(sw, port int16, pkt *netsim.Packet, now int64) {
 		if !sysCfg.Switch.Rule.Matches(true, pkt.PSN) {
 			return
 		}
-		wire := uevent.EncodeMirrorPacket(uevent.MirrorRecord{
+		mirrorScratch = uevent.AppendMirrorPacket(mirrorScratch[:0], uevent.MirrorRecord{
 			Port:        netsim.PortID{Switch: sw, Port: port},
 			TimestampNs: now,
 			PSN:         pkt.PSN,
@@ -158,7 +162,7 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string
 			Flow:        pkt.Flow,
 		})
 		if err := mirrorW.WritePacket(pcapio.Packet{
-			TimestampNs: now, Data: wire, OrigLen: len(wire),
+			TimestampNs: now, Data: mirrorScratch, OrigLen: len(mirrorScratch),
 		}); err != nil && pipelineErr == nil {
 			pipelineErr = err
 		}

@@ -134,10 +134,12 @@ func (a *Analyzer) AddMirrors(ms []uevent.MirrorRecord) {
 }
 
 // AddMirrorPacket parses one on-the-wire mirrored packet (VLAN-tagged,
-// timestamp-trailed) and ingests it.
+// timestamp-trailed) and ingests it. The decode is an in-place view — b
+// is not retained, so callers may hand in pooled buffers (pcap batch
+// views) and recycle them after the call returns.
 func (a *Analyzer) AddMirrorPacket(b []byte) error {
-	m, err := packet.DecodeMirror(b)
-	if err != nil {
+	var m packet.Mirrored
+	if err := packet.DecodeMirrorInto(b, &m); err != nil {
 		return err
 	}
 	if !m.CE {

@@ -14,6 +14,7 @@ import (
 	"umon/internal/flowkey"
 	"umon/internal/measure"
 	"umon/internal/netsim"
+	"umon/internal/packet"
 	"umon/internal/report"
 	"umon/internal/uevent"
 	"umon/internal/wavesketch"
@@ -136,13 +137,19 @@ type SwitchMonitor struct {
 	sw       int16
 	cfg      SwitchMonitorConfig
 	emit     func(encoded []byte)
+	scratch  []byte
 	mirrored int64
 	bytes    int64
 }
 
-// NewSwitchMonitor builds a monitor for switch sw.
+// NewSwitchMonitor builds a monitor for switch sw. The emit callback's
+// slice is a scratch buffer reused for the next mirror packet: consume or
+// copy it before returning, do not retain it.
 func NewSwitchMonitor(sw int16, cfg SwitchMonitorConfig, emit func(encoded []byte)) *SwitchMonitor {
-	return &SwitchMonitor{sw: sw, cfg: cfg, emit: emit}
+	return &SwitchMonitor{
+		sw: sw, cfg: cfg, emit: emit,
+		scratch: make([]byte, 0, packet.MirrorEncodedLen),
+	}
 }
 
 // OnCEPacket feeds one CE-marked egress observation through the ACL.
@@ -164,7 +171,8 @@ func (m *SwitchMonitor) OnCEPacket(port int16, ns int64, f flowkey.Key, psn uint
 	m.mirrored++
 	m.bytes += int64(rec.WireBytes)
 	if m.emit != nil {
-		m.emit(uevent.EncodeMirrorPacket(rec))
+		m.scratch = uevent.AppendMirrorPacket(m.scratch[:0], rec)
+		m.emit(m.scratch)
 	}
 }
 

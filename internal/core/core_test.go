@@ -78,7 +78,8 @@ func TestHostMonitorIdleGapSkipsPeriods(t *testing.T) {
 func TestSwitchMonitorSamplesAndEncodes(t *testing.T) {
 	var wires [][]byte
 	sm := NewSwitchMonitor(4, SwitchMonitorConfig{Rule: uevent.ACLRule{SampleBits: 2}}, func(b []byte) {
-		wires = append(wires, b)
+		// b is the monitor's scratch buffer; copy to retain past the call.
+		wires = append(wires, append([]byte(nil), b...))
 	})
 	f := testKey(1)
 	for psn := uint32(0); psn < 16; psn++ {

@@ -1,0 +1,27 @@
+package mbuf
+
+import "testing"
+
+// BenchmarkMbufPoolAllocUnref measures the steady-state pooled
+// alloc/release cycle (free-list hit path).
+func BenchmarkMbufPoolAllocUnref(b *testing.B) {
+	p := New(Config{})
+	p.Alloc(256).Unref() // warm the class
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Alloc(256).Unref()
+	}
+}
+
+// BenchmarkMbufPoolBlockCycle measures the pcap block size class the
+// reader churns through.
+func BenchmarkMbufPoolBlockCycle(b *testing.B) {
+	p := New(Config{})
+	p.Alloc(1 << 18).Unref()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Alloc(1 << 18).Unref()
+	}
+}

@@ -32,11 +32,22 @@ type Mirrored struct {
 // port.
 const mirrorTrailerLen = 8
 
+// MirrorEncodedLen is the wire size of an encoded mirror packet; useful
+// for pre-sizing append destinations.
+const MirrorEncodedLen = EthernetLen + VLANLen + IPv4Len + UDPLen + BTHLen + mirrorTrailerLen
+
 // EncodeMirror builds the wire form of one mirrored event packet: an
 // Ethernet+VLAN encapsulation of the original headers (truncated to
 // headers only, as mirror sessions do) plus the timestamp trailer.
 func EncodeMirror(m *Mirrored) []byte {
-	b := make([]byte, 0, EthernetLen+VLANLen+IPv4Len+UDPLen+BTHLen+mirrorTrailerLen)
+	return AppendMirror(make([]byte, 0, MirrorEncodedLen), m)
+}
+
+// AppendMirror appends the wire form of one mirrored event packet to dst
+// and returns the extended slice. With a pre-sized dst it does not
+// allocate, so emitters can reuse one scratch buffer across packets.
+func AppendMirror(dst []byte, m *Mirrored) []byte {
+	b := dst
 	eth := Ethernet{EtherType: EtherTypeVLAN}
 	b = eth.Marshal(b)
 	vlan := VLAN{ID: m.VLANID, EtherType: EtherTypeIPv4}

@@ -1,13 +1,28 @@
 // Package pcapio reads and writes the classic libpcap capture format
 // (nanosecond-precision variant, magic 0xa1b23c4d), so µMon traces and
 // mirrored event packets can be exchanged with standard tooling. Stdlib
-// only.
+// plus internal/mbuf only.
+//
+// The datapath is zero-copy: both directions move bytes through pooled
+// blocks (internal/mbuf) instead of per-record heap slabs. The Reader
+// fills a large block per underlying read and parses many records out of
+// it; ReadBatch hands out Packet views directly into those blocks, with
+// the Batch holding a refcount on every block its views touch. The Writer
+// coalesces records into a block and emits one large write when it fills.
+//
+// View lifetime contract: packets returned by ReadBatch alias pooled
+// memory and stay valid only until the next ReadBatch call on the same
+// Batch (which releases the previous blocks back to the pool) or until
+// Batch.Release. Callers that need longer-lived bytes must copy, or use
+// ReadPacket/ReadAll, which return owned (copied) data.
 package pcapio
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"umon/internal/mbuf"
 )
 
 // Magic numbers of the classic pcap format.
@@ -22,49 +37,109 @@ const LinkTypeEthernet = 1
 const (
 	fileHeaderLen   = 24
 	recordHeaderLen = 16
+
+	// defaultBlockBytes is the pooled block size both directions use: one
+	// underlying read/write per ~256 KiB instead of two per record.
+	defaultBlockBytes = 1 << 18
+
+	// maxRecordBytes bounds one record (header + captured bytes) so a
+	// corrupt capture length cannot demand an arbitrarily large buffer.
+	maxRecordBytes = mbuf.MaxClassBytes
 )
 
 // Packet is one captured record.
 type Packet struct {
 	TimestampNs int64
-	// Data holds the captured bytes (possibly truncated to SnapLen).
+	// Data holds the captured bytes (possibly truncated to SnapLen). For
+	// packets produced by ReadBatch this is a view into a pooled block —
+	// see the package lifetime contract.
 	Data []byte
 	// OrigLen is the original wire length.
 	OrigLen int
 }
 
-// Writer emits a pcap stream.
+// Writer emits a pcap stream, coalescing records into pooled blocks.
+// Call Flush when done: records may be buffered until then.
 type Writer struct {
 	w       io.Writer
 	snapLen uint32
 	started bool
+	pool    *mbuf.Pool
+	blkSize int
+	blk     *mbuf.Buf
+	buf     []byte // blk.Data()
+	n       int    // bytes buffered
 }
 
-// NewWriter returns a Writer with the given snap length (0 = 65535).
+// WriterOpts parameterizes a Writer.
+type WriterOpts struct {
+	// Pool supplies blocks (nil: the shared default pool).
+	Pool *mbuf.Pool
+	// BlockBytes is the coalescing buffer size (0: 256 KiB).
+	BlockBytes int
+}
+
+// NewWriter returns a Writer with the given snap length (0 = 65535) on
+// the shared buffer pool.
 func NewWriter(w io.Writer, snapLen int) *Writer {
+	return NewWriterOpts(w, snapLen, WriterOpts{})
+}
+
+// NewWriterOpts returns a Writer drawing blocks from o.Pool.
+func NewWriterOpts(w io.Writer, snapLen int, o WriterOpts) *Writer {
 	if snapLen <= 0 {
 		snapLen = 65535
 	}
-	return &Writer{w: w, snapLen: uint32(snapLen)}
+	if o.Pool == nil {
+		o.Pool = mbuf.Default()
+	}
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = defaultBlockBytes
+	}
+	return &Writer{w: w, snapLen: uint32(snapLen), pool: o.Pool, blkSize: o.BlockBytes}
 }
 
-func (w *Writer) writeHeader() error {
-	var h [fileHeaderLen]byte
+func putFileHeader(h []byte, snapLen uint32) {
 	binary.LittleEndian.PutUint32(h[0:4], magicNano)
 	binary.LittleEndian.PutUint16(h[4:6], 2) // major
 	binary.LittleEndian.PutUint16(h[6:8], 4) // minor
-	binary.LittleEndian.PutUint32(h[16:20], w.snapLen)
+	binary.LittleEndian.PutUint32(h[8:16], 0)
+	binary.LittleEndian.PutUint32(h[16:20], snapLen)
 	binary.LittleEndian.PutUint32(h[20:24], LinkTypeEthernet)
-	_, err := w.w.Write(h[:])
+}
+
+// reserve makes room for m more buffered bytes, flushing the block first
+// if needed. m must not exceed the block size.
+func (w *Writer) reserve(m int) error {
+	if w.blk == nil {
+		w.blk = w.pool.Alloc(w.blkSize)
+		w.buf = w.blk.Data()
+		w.n = 0
+	}
+	if w.n+m > len(w.buf) {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *Writer) flushBlock() error {
+	if w.n == 0 {
+		return nil
+	}
+	_, err := w.w.Write(w.buf[:w.n])
+	w.n = 0
 	return err
 }
 
-// WritePacket appends one record, truncating to the snap length.
+// WritePacket appends one record, truncating to the snap length. The
+// record is buffered; Flush forces it out.
 func (w *Writer) WritePacket(p Packet) error {
 	if !w.started {
-		if err := w.writeHeader(); err != nil {
+		if err := w.reserve(fileHeaderLen); err != nil {
 			return err
 		}
+		putFileHeader(w.buf[w.n:w.n+fileHeaderLen], w.snapLen)
+		w.n += fileHeaderLen
 		w.started = true
 	}
 	data := p.Data
@@ -75,46 +150,114 @@ func (w *Writer) WritePacket(p Packet) error {
 	if orig < len(data) {
 		orig = len(data)
 	}
-	var h [recordHeaderLen]byte
-	sec := uint32(p.TimestampNs / 1e9)
-	nsec := uint32(p.TimestampNs % 1e9)
-	binary.LittleEndian.PutUint32(h[0:4], sec)
-	binary.LittleEndian.PutUint32(h[4:8], nsec)
-	binary.LittleEndian.PutUint32(h[8:12], uint32(len(data)))
-	binary.LittleEndian.PutUint32(h[12:16], uint32(orig))
-	if _, err := w.w.Write(h[:]); err != nil {
+	need := recordHeaderLen + len(data)
+	if err := w.reserve(need); err != nil {
 		return err
 	}
-	_, err := w.w.Write(data)
-	return err
+	if need > len(w.buf) {
+		// Record larger than the block: emit it directly.
+		var h [recordHeaderLen]byte
+		putRecordHeader(h[:], p.TimestampNs, len(data), orig)
+		if _, err := w.w.Write(h[:]); err != nil {
+			return err
+		}
+		_, err := w.w.Write(data)
+		return err
+	}
+	putRecordHeader(w.buf[w.n:w.n+recordHeaderLen], p.TimestampNs, len(data), orig)
+	copy(w.buf[w.n+recordHeaderLen:], data)
+	w.n += need
+	return nil
 }
 
-// Flush finishes the stream; with no packets written it still emits the
-// file header so the output is a valid (empty) capture.
-func (w *Writer) Flush() error {
-	if !w.started {
-		w.started = true
-		return w.writeHeader()
+func putRecordHeader(h []byte, tsNs int64, capLen, origLen int) {
+	binary.LittleEndian.PutUint32(h[0:4], uint32(tsNs/1e9))
+	binary.LittleEndian.PutUint32(h[4:8], uint32(tsNs%1e9))
+	binary.LittleEndian.PutUint32(h[8:12], uint32(capLen))
+	binary.LittleEndian.PutUint32(h[12:16], uint32(origLen))
+}
+
+// WritePacketBatch appends many records through the coalescing buffer.
+func (w *Writer) WritePacketBatch(ps []Packet) error {
+	for i := range ps {
+		if err := w.WritePacket(ps[i]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// Reader consumes a pcap stream.
+// Flush forces buffered records to the underlying writer and returns the
+// coalescing block to the pool; with no packets written it still emits
+// the file header so the output is a valid (empty) capture. The Writer
+// remains usable after Flush.
+func (w *Writer) Flush() error {
+	if !w.started {
+		if err := w.reserve(fileHeaderLen); err != nil {
+			return err
+		}
+		putFileHeader(w.buf[w.n:w.n+fileHeaderLen], w.snapLen)
+		w.n += fileHeaderLen
+		w.started = true
+	}
+	err := w.flushBlock()
+	if w.blk != nil {
+		w.blk.Unref()
+		w.blk, w.buf = nil, nil
+	}
+	return err
+}
+
+// Reader consumes a pcap stream through pooled blocks: one underlying
+// read fills a block, then records are parsed in place. Not safe for
+// concurrent use.
 type Reader struct {
 	r        io.Reader
 	bigEnd   bool
 	nano     bool
 	snapLen  uint32
 	LinkType uint32
+
+	pool    *mbuf.Pool
+	blkSize int
+	blk     *mbuf.Buf
+	buf     []byte // blk.Data()
+	pos     int    // consumed bytes
+	filled  int    // valid bytes
+	rerr    error  // sticky error from the underlying reader
 }
 
-// NewReader validates the file header and returns a Reader.
+// ReaderOpts parameterizes a Reader.
+type ReaderOpts struct {
+	// Pool supplies blocks (nil: the shared default pool).
+	Pool *mbuf.Pool
+	// BlockBytes is the read-ahead block size (0: 256 KiB). Must hold at
+	// least one record header; tiny values are raised to it.
+	BlockBytes int
+}
+
+// NewReader validates the file header and returns a Reader on the shared
+// buffer pool.
 func NewReader(r io.Reader) (*Reader, error) {
+	return NewReaderOpts(r, ReaderOpts{})
+}
+
+// NewReaderOpts returns a Reader drawing blocks from o.Pool.
+func NewReaderOpts(r io.Reader, o ReaderOpts) (*Reader, error) {
 	var h [fileHeaderLen]byte
 	if _, err := io.ReadFull(r, h[:]); err != nil {
 		return nil, fmt.Errorf("pcapio: short file header: %w", err)
 	}
-	rd := &Reader{r: r}
+	if o.Pool == nil {
+		o.Pool = mbuf.Default()
+	}
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = defaultBlockBytes
+	}
+	if o.BlockBytes < recordHeaderLen {
+		o.BlockBytes = recordHeaderLen
+	}
+	rd := &Reader{r: r, pool: o.Pool, blkSize: o.BlockBytes}
 	magicLE := binary.LittleEndian.Uint32(h[0:4])
 	magicBE := binary.BigEndian.Uint32(h[0:4])
 	switch {
@@ -140,25 +283,89 @@ func (r *Reader) u32(b []byte) uint32 {
 	return binary.LittleEndian.Uint32(b)
 }
 
-// ReadPacket returns the next record, or io.EOF at the end of the stream.
-func (r *Reader) ReadPacket() (Packet, error) {
-	var h [recordHeaderLen]byte
-	if _, err := io.ReadFull(r.r, h[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			err = io.EOF
-		}
-		return Packet{}, err
+// Close releases the Reader's current block back to the pool. Views
+// handed out earlier stay valid while their Batch still holds them.
+func (r *Reader) Close() error {
+	if r.blk != nil {
+		r.blk.Unref()
+		r.blk, r.buf = nil, nil
+		r.pos, r.filled = 0, 0
 	}
+	return nil
+}
+
+// avail reports the unconsumed buffered bytes.
+func (r *Reader) avail() int { return r.filled - r.pos }
+
+// ensure buffers at least need unconsumed bytes, switching to a fresh
+// block (copying the unconsumed tail across) when the current one cannot
+// hold them. b, when non-nil, takes a reference on the outgoing block so
+// views already handed out this batch stay valid. Returns false when the
+// stream ends first (r.rerr holds the cause).
+func (r *Reader) ensure(need int, b *Batch) bool {
+	if r.avail() >= need {
+		return true
+	}
+	if r.blk == nil || r.pos+need > len(r.buf) {
+		// Move the unconsumed tail into a fresh block with room for need.
+		size := r.blkSize
+		if need > size {
+			size = need
+		}
+		nb := r.pool.Alloc(size)
+		tail := copy(nb.Data(), r.buf[r.pos:r.filled])
+		if r.blk != nil {
+			r.blk.Unref() // the batch's reference, if any, keeps it alive
+		}
+		r.blk, r.buf = nb, nb.Data()
+		r.pos, r.filled = 0, tail
+	}
+	for r.avail() < need {
+		if r.rerr != nil {
+			return false
+		}
+		n, err := r.r.Read(r.buf[r.filled:])
+		r.filled += n
+		if err != nil {
+			r.rerr = err
+		} else if n == 0 {
+			r.rerr = io.ErrNoProgress
+		}
+	}
+	return true
+}
+
+// readRecord parses the next record. With a non-nil batch the returned
+// Data aliases the pooled block (the batch keeps it referenced);
+// otherwise Data is an owned copy.
+func (r *Reader) readRecord(b *Batch) (Packet, error) {
+	if !r.ensure(recordHeaderLen, b) {
+		// A clean end or a partial record header both map to EOF, matching
+		// the classic tcpdump tolerance for truncated captures.
+		if r.avail() == 0 || r.avail() < recordHeaderLen {
+			if r.rerr == io.EOF || r.rerr == io.ErrUnexpectedEOF {
+				return Packet{}, io.EOF
+			}
+		}
+		return Packet{}, r.rerr
+	}
+	h := r.buf[r.pos : r.pos+recordHeaderLen]
 	sec := int64(r.u32(h[0:4]))
 	sub := int64(r.u32(h[4:8]))
 	capLen := r.u32(h[8:12])
 	orig := r.u32(h[12:16])
-	if r.snapLen > 0 && capLen > r.snapLen+65536 {
+	if r.snapLen > 0 && capLen > r.snapLen+65536 || capLen > maxRecordBytes-recordHeaderLen {
 		return Packet{}, fmt.Errorf("pcapio: implausible capture length %d", capLen)
 	}
-	data := make([]byte, capLen)
-	if _, err := io.ReadFull(r.r, data); err != nil {
-		return Packet{}, fmt.Errorf("pcapio: truncated record: %w", err)
+	if !r.ensure(recordHeaderLen+int(capLen), b) {
+		return Packet{}, fmt.Errorf("pcapio: truncated record: %w", unexpectedEOF(r.rerr))
+	}
+	data := r.buf[r.pos+recordHeaderLen : r.pos+recordHeaderLen+int(capLen)]
+	r.pos += recordHeaderLen + int(capLen)
+	if b != nil {
+		b.note(r.blk)
+	} else {
+		data = append([]byte(nil), data...)
 	}
 	ns := sec * 1e9
 	if r.nano {
@@ -169,17 +376,134 @@ func (r *Reader) ReadPacket() (Packet, error) {
 	return Packet{TimestampNs: ns, Data: data, OrigLen: int(orig)}, nil
 }
 
-// ReadAll drains the stream.
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ReadPacket returns the next record with owned (copied) data, or io.EOF
+// at the end of the stream. One allocation per record; the batch API
+// avoids it.
+func (r *Reader) ReadPacket() (Packet, error) {
+	return r.readRecord(nil)
+}
+
+// Batch is the destination of ReadBatch: a reusable set of packet views
+// plus references on the pooled blocks backing them. The zero value is
+// ready to use. Call Release when done with the final batch.
+type Batch struct {
+	// Pkts holds the batch's packets; Data fields alias pooled blocks.
+	Pkts []Packet
+
+	blocks []*mbuf.Buf
+}
+
+// note records that the batch references blk, taking one reference the
+// first time.
+func (b *Batch) note(blk *mbuf.Buf) {
+	if n := len(b.blocks); n > 0 && b.blocks[n-1] == blk {
+		return
+	}
+	blk.Ref()
+	b.blocks = append(b.blocks, blk)
+}
+
+// Release drops the batch's block references and resets Pkts. The views
+// handed out by the previous ReadBatch become invalid.
+func (b *Batch) Release() {
+	for _, blk := range b.blocks {
+		blk.Unref()
+	}
+	b.blocks = b.blocks[:0]
+	b.Pkts = b.Pkts[:0]
+}
+
+// DefaultBatchSize is the ReadBatch record cap when the caller passes 0.
+const DefaultBatchSize = 256
+
+// ReadBatch releases b's previous contents and refills it with up to max
+// records (0: DefaultBatchSize) as views into pooled blocks. It returns
+// the number of packets read; 0 with io.EOF at the end of the stream. A
+// short batch with a nil error is normal.
+func (r *Reader) ReadBatch(b *Batch, max int) (int, error) {
+	if max <= 0 {
+		max = DefaultBatchSize
+	}
+	b.Release()
+	for len(b.Pkts) < max {
+		// Fast path: a little-endian record wholly buffered in the current
+		// block — parse in place with no calls. Everything else (block
+		// refill, big-endian headers, errors) goes through readRecord,
+		// which applies the identical checks.
+		if avail := r.filled - r.pos; !r.bigEnd && avail >= recordHeaderLen {
+			h := r.buf[r.pos : r.pos+recordHeaderLen]
+			capLen := binary.LittleEndian.Uint32(h[8:12])
+			if int(capLen) <= avail-recordHeaderLen &&
+				!(r.snapLen > 0 && capLen > r.snapLen+65536 || capLen > maxRecordBytes-recordHeaderLen) {
+				ns := int64(binary.LittleEndian.Uint32(h[0:4])) * 1e9
+				if sub := int64(binary.LittleEndian.Uint32(h[4:8])); r.nano {
+					ns += sub
+				} else {
+					ns += sub * 1e3
+				}
+				start := r.pos + recordHeaderLen
+				data := r.buf[start : start+int(capLen)]
+				r.pos = start + int(capLen)
+				b.note(r.blk)
+				b.Pkts = append(b.Pkts, Packet{
+					TimestampNs: ns,
+					Data:        data,
+					OrigLen:     int(binary.LittleEndian.Uint32(h[12:16])),
+				})
+				continue
+			}
+		}
+		p, err := r.readRecord(b)
+		if err != nil {
+			if err == io.EOF && len(b.Pkts) > 0 {
+				return len(b.Pkts), nil
+			}
+			return len(b.Pkts), err
+		}
+		b.Pkts = append(b.Pkts, p)
+	}
+	return len(b.Pkts), nil
+}
+
+// ReadAll drains the stream. All packet data is copied out of the pooled
+// blocks into one compact arena (a single backing slab holding exactly
+// the captured bytes), so holding the result does not pin pool blocks and
+// costs O(total bytes), not one heap slab per packet.
 func (r *Reader) ReadAll() ([]Packet, error) {
-	var out []Packet
+	type meta struct {
+		tsNs    int64
+		off, n  int
+		origLen int
+	}
+	var arena []byte
+	var metas []meta
+	var b Batch
+	defer b.Release()
+	var rerr error
 	for {
-		p, err := r.ReadPacket()
+		n, err := r.ReadBatch(&b, 0)
+		for _, p := range b.Pkts[:n] {
+			metas = append(metas, meta{p.TimestampNs, len(arena), len(p.Data), p.OrigLen})
+			arena = append(arena, p.Data...)
+		}
 		if err == io.EOF {
-			return out, nil
+			break
 		}
 		if err != nil {
-			return out, err
+			rerr = err
+			break
 		}
-		out = append(out, p)
 	}
+	out := make([]Packet, len(metas))
+	for i, m := range metas {
+		out[i] = Packet{TimestampNs: m.tsNs, Data: arena[m.off : m.off+m.n : m.off+m.n], OrigLen: m.origLen}
+	}
+	return out, rerr
 }

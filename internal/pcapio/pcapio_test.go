@@ -19,6 +19,9 @@ func TestRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	r, err := NewReader(&buf)
 	if err != nil {
 		t.Fatal(err)
@@ -50,6 +53,7 @@ func TestSnapLenTruncates(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf, 8)
 	w.WritePacket(Packet{TimestampNs: 1, Data: bytes.Repeat([]byte{7}, 64), OrigLen: 64})
+	w.Flush()
 	r, _ := NewReader(&buf)
 	p, err := r.ReadPacket()
 	if err != nil {
@@ -133,6 +137,7 @@ func TestTruncatedRecord(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf, 0)
 	w.WritePacket(Packet{TimestampNs: 1, Data: []byte{1, 2, 3}, OrigLen: 3})
+	w.Flush()
 	b := buf.Bytes()
 	r, _ := NewReader(bytes.NewReader(b[:len(b)-1]))
 	if _, err := r.ReadPacket(); err == nil {

@@ -112,7 +112,15 @@ func TimeOrdered(ms []MirrorRecord) bool {
 // EncodeMirrorPacket produces the on-the-wire form of one mirror record
 // (VLAN-tagged, timestamp-trailed), for transport to the analyzer.
 func EncodeMirrorPacket(m MirrorRecord) []byte {
-	return packet.EncodeMirror(&packet.Mirrored{
+	return AppendMirrorPacket(make([]byte, 0, packet.MirrorEncodedLen), m)
+}
+
+// AppendMirrorPacket appends the wire form of one mirror record to dst and
+// returns the extended slice: the allocation-free path for emitters that
+// reuse a scratch buffer per packet (the bytes are consumed before the
+// next append).
+func AppendMirrorPacket(dst []byte, m MirrorRecord) []byte {
+	return packet.AppendMirror(dst, &packet.Mirrored{
 		VLANID:      VLANFor(m.Port),
 		TimestampNs: m.TimestampNs,
 		Flow:        m.Flow,
