@@ -24,10 +24,11 @@ test-race:
 	$(GO) test -race ./internal/parallel
 	$(GO) test -race ./internal/experiments -run TestParallel
 	$(GO) test -race ./internal/wavesketch -run 'TestSharded'
-	$(GO) test -race ./internal/report -run 'TestQueryable'
+	$(GO) test -race ./internal/report -run 'TestQueryable|TestDecodeBudget'
 	$(GO) test -race ./internal/analyzer -run 'TestAnalyzerConcurrent|TestDetectEventsIncremental'
 	$(GO) test -race ./internal/telemetry
 	$(GO) test -race ./internal/netsim -run 'TestEngineWheelMatchesHeapOracle|TestSimulationWheelMatchesHeapOracle|TestWheel|TestTimerArm'
+	$(GO) test -race ./internal/netsim -run 'TestParallelMatchesSerial|TestLockstepMatchesGoroutines|TestShardedWheelMatchesHeapOracle|TestShardedEngineStormMatchesOracle'
 	$(GO) test -race ./internal/mbuf
 	$(GO) test -race ./internal/pcapio
 	$(GO) test -race ./internal/packet
@@ -93,10 +94,15 @@ bench-query-baseline:
 # in-tree heap oracle at several pending-event counts, the typed DCQCN
 # rearm path, and a full dumbbell simulation. Same benchstat-compatible
 # shape as bench-ingest (create a baseline with `make bench-sim-baseline`).
+# The FabricSim pass is the serial-vs-sharded matrix (fat-tree k=4/k=8 at
+# 1/2/4 shards); BENCH_sim.json aggregates everything for CI tracking.
 SIM_BENCH = EngineSchedule|EngineEventLoopTyped|EngineDCQCNTimerRearm|EngineArmTimers|DumbbellSim
 bench-sim:
 	$(GO) test -run XXX -bench '$(SIM_BENCH)' -benchtime 1s -count 5 \
 		./internal/netsim | tee bench-sim.txt
+	$(GO) test -run XXX -bench FabricSim -benchtime 3x -count 3 \
+		./internal/netsim | tee -a bench-sim.txt
+	$(GO) run ./cmd/benchjson -o BENCH_sim.json bench-sim.txt
 	@if command -v benchstat >/dev/null 2>&1 && [ -f bench-sim.base.txt ]; then \
 		benchstat bench-sim.base.txt bench-sim.txt; \
 	else \

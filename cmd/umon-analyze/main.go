@@ -38,6 +38,7 @@ func main() {
 	top := flag.Int("top", 10, "events to list")
 	replayMarginUs := flag.Int64("replay-margin-us", 250, "replay margin around the event")
 	workers := flag.Int("workers", 0, "worker-pool width for decode/replay (0: UMON_WORKERS or GOMAXPROCS)")
+	decodeBudget := flag.Int("decode-budget", 0, "max resident decoded curves per report (0: unbounded; evicted curves re-decode on demand)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry on this address (/metrics Prometheus, /vars JSON, /debug/pprof)")
 	telemetryDump := flag.Bool("telemetry-dump", false, "print a telemetry summary to stderr at end of run")
 	flag.Parse()
@@ -63,7 +64,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "umon-analyze: telemetry on http://%s/metrics\n", srv.Addr())
 	}
-	err := run(*mirrors, *reports, *gapUs*1000, *top, *replayMarginUs*1000, reg)
+	err := run(*mirrors, *reports, *gapUs*1000, *top, *replayMarginUs*1000, *decodeBudget, reg)
 	if *telemetryDump {
 		reg.WriteSummary(os.Stderr)
 	}
@@ -73,7 +74,7 @@ func main() {
 	}
 }
 
-func run(mirrorPath, reportDir string, gapNs int64, top int, replayMarginNs int64, reg *telemetry.Registry) error {
+func run(mirrorPath, reportDir string, gapNs int64, top int, replayMarginNs int64, decodeBudget int, reg *telemetry.Registry) error {
 	a := analyzer.New()
 	a.SetStats(analyzer.NewPlaneStats(reg))
 	tracer := telemetry.NewTracer(reg)
@@ -135,7 +136,11 @@ func run(mirrorPath, reportDir string, gapNs int64, top int, replayMarginNs int6
 			if err != nil {
 				return fmt.Errorf("decoding %s: %w", entries[i], err)
 			}
-			queryables[i] = report.NewQueryable(rep)
+			q := report.NewQueryable(rep)
+			if decodeBudget > 0 {
+				q.SetDecodeBudget(decodeBudget)
+			}
+			queryables[i] = q
 			return nil
 		})
 		if err != nil {

@@ -47,7 +47,7 @@ func TestAnalyzeRuns(t *testing.T) {
 	dir := t.TempDir()
 	pcap := filepath.Join(dir, "mirrors.pcap")
 	writeMirrorPcap(t, pcap)
-	if err := run(pcap, "", 50_000, 5, 100_000, nil); err != nil {
+	if err := run(pcap, "", 50_000, 5, 100_000, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -60,7 +60,7 @@ func TestAnalyzeTelemetry(t *testing.T) {
 	pcap := filepath.Join(dir, "mirrors.pcap")
 	writeMirrorPcap(t, pcap)
 	reg := telemetry.NewRegistry()
-	if err := run(pcap, "", 50_000, 5, 100_000, reg); err != nil {
+	if err := run(pcap, "", 50_000, 5, 100_000, 0, reg); err != nil {
 		t.Fatal(err)
 	}
 	if reg.Value("umon_analyzer_replays_total") == 0 {
@@ -75,7 +75,7 @@ func TestAnalyzeTelemetry(t *testing.T) {
 }
 
 func TestAnalyzeMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "nope.pcap"), "", 1000, 1, 1000, nil); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope.pcap"), "", 1000, 1, 1000, 0, nil); err == nil {
 		t.Error("missing capture must fail")
 	}
 }
@@ -84,7 +84,7 @@ func TestAnalyzeGarbageCapture(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bad.pcap")
 	os.WriteFile(path, []byte("not a pcap"), 0o644)
-	if err := run(path, "", 1000, 1, 1000, nil); err == nil {
+	if err := run(path, "", 1000, 1, 1000, 0, nil); err == nil {
 		t.Error("garbage capture must fail")
 	}
 }

@@ -3,7 +3,8 @@
 // Usage:
 //
 //	umon-bench [-run fig11,fig14] [-ms 20] [-seed 42] [-list]
-//	           [-workers N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	           [-workers N] [-shards N]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	           [-telemetry-addr :8080] [-telemetry-dump]
 //
 // With no -run it executes every registered experiment in presentation
@@ -12,7 +13,10 @@
 // paper uses 20 ms traces; smaller values are useful for smoke runs).
 // -workers bounds the evaluation worker pool (default: GOMAXPROCS, or the
 // UMON_WORKERS environment variable); tables are byte-identical at any
-// width. -cpuprofile/-memprofile write pprof profiles for the run.
+// width. -shards runs the simulation engine sharded (default: UMON_WORKERS
+// or 1); sharded traces are byte-identical to serial ones, so every table
+// is unchanged — only wall-clock time moves.
+// -cpuprofile/-memprofile write pprof profiles for the run.
 // -telemetry-addr serves the live operational counters (Prometheus
 // /metrics, JSON /vars, /debug/pprof); -telemetry-dump prints a summary to
 // stderr at exit. Telemetry goes to stderr and never perturbs the tables.
@@ -25,6 +29,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,6 +53,7 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 42, "workload/marking seed")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	workers := fs.Int("workers", 0, "worker-pool width (0: UMON_WORKERS or GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "simulation engine shards (0: UMON_WORKERS or 1; traces are identical at any count)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve live telemetry on this address (/metrics Prometheus, /vars JSON, /debug/pprof)")
@@ -94,7 +100,14 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 	}
 	tracer := telemetry.NewTracer(reg)
 
-	cache := experiments.NewCache(experiments.Options{DurationNs: *ms * 1_000_000, Seed: *seed, Telemetry: reg})
+	if *shards <= 0 {
+		if env, err := strconv.Atoi(os.Getenv("UMON_WORKERS")); err == nil && env > 0 {
+			*shards = env
+		} else {
+			*shards = 1
+		}
+	}
+	cache := experiments.NewCache(experiments.Options{DurationNs: *ms * 1_000_000, Seed: *seed, Telemetry: reg, Shards: *shards})
 	runner := experiments.NewRunner(cache)
 
 	var ids []string

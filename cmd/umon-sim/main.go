@@ -16,7 +16,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"umon/internal/analyzer"
 	"umon/internal/core"
@@ -35,6 +38,7 @@ func main() {
 	ms := flag.Int64("ms", 20, "traffic duration in milliseconds")
 	seed := flag.Int64("seed", 42, "generation seed")
 	sampleBits := flag.Uint("sample-bits", 6, "event sampling: probability 1/2^bits")
+	shards := flag.Int("shards", 0, "simulation engine shards (0: UMON_WORKERS or 1; the trace is identical at any count)")
 	outDir := flag.String("out", "umon-out", "output directory")
 	tracePcap := flag.Bool("trace-pcap", false, "also dump host egress traffic (headers) as traffic.pcap")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry on this address (/metrics Prometheus, /vars JSON, /debug/pprof)")
@@ -54,7 +58,14 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "umon-sim: telemetry on http://%s/metrics\n", srv.Addr())
 	}
-	err := run(*wl, *load, *ms, *seed, *sampleBits, *outDir, *tracePcap, reg)
+	if *shards <= 0 {
+		if env, err := strconv.Atoi(os.Getenv("UMON_WORKERS")); err == nil && env > 0 {
+			*shards = env
+		} else {
+			*shards = 1
+		}
+	}
+	err := run(*wl, *load, *ms, *seed, *sampleBits, *shards, *outDir, *tracePcap, reg)
 	if *telemetryDump {
 		reg.WriteSummary(os.Stderr)
 	}
@@ -64,7 +75,7 @@ func main() {
 	}
 }
 
-func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string, tracePcap bool, reg *telemetry.Registry) error {
+func run(wl string, load float64, ms, seed int64, sampleBits uint, shards int, outDir string, tracePcap bool, reg *telemetry.Registry) error {
 	var dist *workload.Distribution
 	switch strings.ToLower(wl) {
 	case "hadoop":
@@ -73,6 +84,11 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string
 		dist = workload.WebSearch()
 	default:
 		return fmt.Errorf("unknown workload %q (want hadoop or websearch)", wl)
+	}
+	if tracePcap && shards > 1 {
+		// The traffic pcap streams every host egress through one writer in
+		// dispatch order; with shards > 1 the callbacks fire concurrently.
+		return fmt.Errorf("-trace-pcap requires -shards 1 (host egress streams into one ordered pcap)")
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
@@ -85,6 +101,7 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string
 	cfg := netsim.DefaultConfig(topo)
 	cfg.Seed = uint64(seed)
 	cfg.Stats = netsim.NewSimStats(reg)
+	cfg.Shards = shards
 	// Register the full µMon metric surface up front so a scrape during the
 	// run covers every family: the ingest vec counts per-host sketch
 	// samples live; the analyzer-plane series (decode cache, MightSee
@@ -119,16 +136,29 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string
 	sysCfg.Host.PeriodNs = ms * 1_000_000
 	sysCfg.Switch.Rule = uevent.ACLRule{SampleBits: sampleBits}
 
-	var reportSeq int
+	// With shards > 1 the netsim callbacks fire concurrently (serialized
+	// per host/switch, not globally): the error slot takes a mutex, and
+	// report files are numbered per host, which both keeps the naming
+	// deterministic at any shard count and needs no cross-host lock.
+	var errMu sync.Mutex
 	var pipelineErr error
+	setErr := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if pipelineErr == nil {
+			pipelineErr = err
+		}
+		errMu.Unlock()
+	}
+	hostSeq := make([]int, topo.Hosts)
 	hosts := make([]*core.HostMonitor, topo.Hosts)
 	for h := 0; h < topo.Hosts; h++ {
 		hm, err := core.NewHostMonitor(h, sysCfg.Host, func(host int, encoded []byte) {
-			name := filepath.Join(outDir, fmt.Sprintf("report-h%02d-%03d.umon", host, reportSeq))
-			reportSeq++
-			if err := os.WriteFile(name, encoded, 0o644); err != nil && pipelineErr == nil {
-				pipelineErr = err
-			}
+			name := filepath.Join(outDir, fmt.Sprintf("report-h%02d-%03d.umon", host, hostSeq[host]))
+			hostSeq[host]++
+			setErr(os.WriteFile(name, encoded, 0o644))
 		})
 		if err != nil {
 			return err
@@ -140,32 +170,44 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string
 		switches[sw] = core.NewSwitchMonitor(int16(sw), sysCfg.Switch, nil)
 	}
 	n.OnHostEgress = func(host int, pkt *netsim.Packet, now int64) {
-		if err := hosts[host].OnPacket(pkt.Flow, now, int(pkt.Size)); err != nil && pipelineErr == nil {
-			pipelineErr = err
-		}
+		setErr(hosts[host].OnPacket(pkt.Flow, now, int(pkt.Size)))
 		ingStats.Samples.At(host).Inc()
 	}
 	// One scratch buffer serves every mirror encode: WritePacket copies the
 	// record into the writer's pooled block before returning, so the bytes
-	// need not outlive the call.
+	// need not outlive the call. With shards > 1 the CE callback fires
+	// concurrently across switches, so records are buffered under a mutex
+	// and written after the run in canonical (time, switch, port) order —
+	// one port CE-marks at most one packet per nanosecond, so the key is
+	// total and the pcap is identical at every shard count.
 	mirrorScratch := make([]byte, 0, packet.MirrorEncodedLen)
+	writeMirror := func(rec uevent.MirrorRecord) {
+		mirrorScratch = uevent.AppendMirrorPacket(mirrorScratch[:0], rec)
+		setErr(mirrorW.WritePacket(pcapio.Packet{
+			TimestampNs: rec.TimestampNs, Data: mirrorScratch, OrigLen: len(mirrorScratch),
+		}))
+	}
+	var mirrorMu sync.Mutex
+	var mirrorBuf []uevent.MirrorRecord
 	n.OnSwitchCE = func(sw, port int16, pkt *netsim.Packet, now int64) {
 		if !sysCfg.Switch.Rule.Matches(true, pkt.PSN) {
 			return
 		}
-		mirrorScratch = uevent.AppendMirrorPacket(mirrorScratch[:0], uevent.MirrorRecord{
+		rec := uevent.MirrorRecord{
 			Port:        netsim.PortID{Switch: sw, Port: port},
 			TimestampNs: now,
 			PSN:         pkt.PSN,
 			OrigBytes:   pkt.Size,
 			WireBytes:   pkt.Size,
 			Flow:        pkt.Flow,
-		})
-		if err := mirrorW.WritePacket(pcapio.Packet{
-			TimestampNs: now, Data: mirrorScratch, OrigLen: len(mirrorScratch),
-		}); err != nil && pipelineErr == nil {
-			pipelineErr = err
 		}
+		if shards > 1 {
+			mirrorMu.Lock()
+			mirrorBuf = append(mirrorBuf, rec)
+			mirrorMu.Unlock()
+			return
+		}
+		writeMirror(rec)
 	}
 
 	var trafficW *pcapio.Writer
@@ -182,11 +224,9 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string
 			frame := packet.EncodeData(&packet.Data{
 				Flow: pkt.Flow, PSN: pkt.PSN, CE: pkt.CE, WireLen: int(pkt.Size),
 			}, 0)
-			if err := trafficW.WritePacket(pcapio.Packet{
+			setErr(trafficW.WritePacket(pcapio.Packet{
 				TimestampNs: now, Data: frame, OrigLen: int(pkt.Size),
-			}); err != nil && pipelineErr == nil {
-				pipelineErr = err
-			}
+			}))
 		}
 	}
 
@@ -199,6 +239,22 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string
 	span := tracer.Start("sim_run")
 	tr := n.Run(horizon)
 	span.End()
+	// Drain the sharded mirror buffer in canonical order.
+	if len(mirrorBuf) > 0 {
+		sort.Slice(mirrorBuf, func(i, j int) bool {
+			a, b := mirrorBuf[i], mirrorBuf[j]
+			if a.TimestampNs != b.TimestampNs {
+				return a.TimestampNs < b.TimestampNs
+			}
+			if a.Port.Switch != b.Port.Switch {
+				return a.Port.Switch < b.Port.Switch
+			}
+			return a.Port.Port < b.Port.Port
+		})
+		for _, rec := range mirrorBuf {
+			writeMirror(rec)
+		}
+	}
 	span = tracer.Start("host_flush")
 	for _, hm := range hosts {
 		if err := hm.Flush(); err != nil {
@@ -225,7 +281,11 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, outDir string
 	}
 	fmt.Printf("workload      %s %.0f%% load, %d flows, %d packets\n", dist.Name, load*100, len(flows), tr.TotalPackets())
 	fmt.Printf("events        %d ground-truth episodes, %d CE observations\n", len(tr.Episodes), len(tr.CELog))
-	fmt.Printf("reports       %d files, %d bytes (%.2f Mbps/host avg)\n", reportSeq, reportBytes,
+	reportFiles := 0
+	for _, s := range hostSeq {
+		reportFiles += s
+	}
+	fmt.Printf("reports       %d files, %d bytes (%.2f Mbps/host avg)\n", reportFiles, reportBytes,
 		float64(reportBytes)*8/float64(horizon)*1e9/1e6/float64(topo.Hosts))
 	fmt.Printf("output        %s\n", outDir)
 	return nil

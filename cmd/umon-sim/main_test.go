@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 
 func TestRunProducesArtifacts(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("hadoop", 0.15, 2, 7, 4, dir, true, nil); err != nil {
+	if err := run("hadoop", 0.15, 2, 7, 4, 1, dir, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Mirror pcap exists and parses.
@@ -58,7 +59,7 @@ func TestRunProducesArtifacts(t *testing.T) {
 }
 
 func TestRunRejectsUnknownWorkload(t *testing.T) {
-	if err := run("netflix", 0.15, 1, 7, 4, t.TempDir(), false, nil); err == nil {
+	if err := run("netflix", 0.15, 1, 7, 4, 1, t.TempDir(), false, nil); err == nil {
 		t.Error("unknown workload must fail")
 	}
 }
@@ -69,7 +70,7 @@ func TestRunRejectsUnknownWorkload(t *testing.T) {
 // present at zero.
 func TestRunTelemetryCoversAcceptanceFamilies(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	if err := run("hadoop", 0.15, 1, 7, 4, t.TempDir(), false, reg); err != nil {
+	if err := run("hadoop", 0.15, 1, 7, 4, 1, t.TempDir(), false, reg); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -94,5 +95,80 @@ func TestRunTelemetryCoversAcceptanceFamilies(t *testing.T) {
 	}
 	if reg.Value(`umon_ingest_samples_total{shard="0"}`) == 0 {
 		t.Error("per-host ingest samples counter not live")
+	}
+}
+
+// TestRunShardedMatchesSerialArtifacts runs the same short simulation with
+// the serial engine and with 3 shards: the host report files must be
+// byte-identical (each host's egress stream is identical at any shard
+// count), the mirror record multiset must match, and -trace-pcap must be
+// refused under sharding.
+func TestRunShardedMatchesSerialArtifacts(t *testing.T) {
+	serialDir, shardDir := t.TempDir(), t.TempDir()
+	if err := run("hadoop", 0.15, 2, 7, 4, 1, serialDir, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("hadoop", 0.15, 2, 7, 4, 3, shardDir, false, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reports: same file names, same bytes.
+	serialReports, _ := filepath.Glob(filepath.Join(serialDir, "*.umon"))
+	if len(serialReports) == 0 {
+		t.Fatal("serial run wrote no reports")
+	}
+	for _, sr := range serialReports {
+		want, err := os.ReadFile(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(shardDir, filepath.Base(sr)))
+		if err != nil {
+			t.Fatalf("sharded run missing report %s: %v", filepath.Base(sr), err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("report %s differs between serial and sharded run", filepath.Base(sr))
+		}
+	}
+
+	// Mirrors: identical record multiset (the sharded writer orders by
+	// (time, switch, port); the serial one streams in dispatch order, which
+	// may interleave switches differently inside one nanosecond).
+	readSorted := func(dir string) []string {
+		f, err := os.Open(filepath.Join(dir, "mirrors.pcap"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		rd, err := pcapio.NewReader(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts, err := rd.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(pkts))
+		for i, p := range pkts {
+			out[i] = string(p.Data)
+		}
+		sort.Strings(out)
+		return out
+	}
+	serialRecs, shardRecs := readSorted(serialDir), readSorted(shardDir)
+	if len(serialRecs) == 0 {
+		t.Fatal("serial run mirrored no packets")
+	}
+	if len(serialRecs) != len(shardRecs) {
+		t.Fatalf("mirror count differs: serial %d, sharded %d", len(serialRecs), len(shardRecs))
+	}
+	for i := range serialRecs {
+		if serialRecs[i] != shardRecs[i] {
+			t.Fatalf("mirror record %d differs between serial and sharded run", i)
+		}
+	}
+
+	if err := run("hadoop", 0.15, 1, 7, 4, 2, t.TempDir(), true, nil); err == nil {
+		t.Error("-trace-pcap with shards > 1 must be refused")
 	}
 }

@@ -50,30 +50,31 @@ func (h *host) armDCQCNTimers(fs *flowState) {
 	}
 	fs.ccArmed = true
 	cfg := h.net.cfg.DCQCN
-	e := h.net.eng
+	e := h.sh.eng
 	e.push(event{at: e.now + cfg.AlphaTimerNs, kind: evDCQCNAlpha, flow: fs})
 	e.push(event{at: e.now + cfg.RateTimerNs, kind: evDCQCNRate, flow: fs})
 }
 
 // dcqcnAlphaTick runs one evDCQCNAlpha event: decay alpha if the flow has
-// been CNP-quiet, then rearm.
-func (n *Network) dcqcnAlphaTick(fs *flowState) {
+// been CNP-quiet, then rearm. The dispatching engine (the sender host's
+// shard) is passed in so rearming stays on the flow's own wheel.
+func (n *Network) dcqcnAlphaTick(e *Engine, fs *flowState) {
 	if fs.finished {
 		fs.ccArmed = false
 		return
 	}
-	fs.cc.onAlphaTimer(n.eng.now)
-	n.eng.push(event{at: n.eng.now + fs.cc.cfg.AlphaTimerNs, kind: evDCQCNAlpha, flow: fs})
+	fs.cc.onAlphaTimer(e.now)
+	e.push(event{at: e.now + fs.cc.cfg.AlphaTimerNs, kind: evDCQCNAlpha, flow: fs})
 }
 
 // dcqcnRateTick runs one evDCQCNRate event: one rate-increase step, then
 // rearm.
-func (n *Network) dcqcnRateTick(fs *flowState) {
+func (n *Network) dcqcnRateTick(e *Engine, fs *flowState) {
 	if fs.finished {
 		return
 	}
 	fs.cc.onRateTimer()
-	n.eng.push(event{at: n.eng.now + fs.cc.cfg.RateTimerNs, kind: evDCQCNRate, flow: fs})
+	e.push(event{at: e.now + fs.cc.cfg.RateTimerNs, kind: evDCQCNRate, flow: fs})
 }
 
 // dcqcnState is the per-flow rate controller.

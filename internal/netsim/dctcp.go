@@ -52,7 +52,7 @@ func (h *host) armRTOTimer(fs *flowState) {
 		return
 	}
 	fs.rtoArmed = true
-	e := h.net.eng
+	e := h.sh.eng
 	e.push(event{at: e.now + fs.win.cfg.RTONs, kind: evRTO, host: h, flow: fs})
 }
 
@@ -65,14 +65,14 @@ func (h *host) rtoTick(fs *flowState) {
 		return
 	}
 	rto := fs.win.cfg.RTONs
-	now := h.net.eng.Now()
+	now := h.sh.eng.Now()
 	if fs.psn > fs.ackedPSN && now-fs.lastProgressNs >= rto {
 		h.rewind(fs, fs.ackedPSN)
 		fs.win.onLoss()
 		fs.lastProgressNs = now
 		h.trySendWindow(fs)
 	}
-	h.net.eng.push(event{at: now + rto, kind: evRTO, host: h, flow: fs})
+	h.sh.eng.push(event{at: now + rto, kind: evRTO, host: h, flow: fs})
 }
 
 // dctcpState is the per-flow window controller.

@@ -23,12 +23,19 @@ package netsim
 //     overflow events that became in-range, and same-tick events scheduled
 //     *during* dispatch sift into `cur` directly.
 //
-// Determinism is preserved exactly: every event still executes in the
-// global (at, seq) total order. Ticks partition time, ties share a tick,
-// and within `cur` the heap orders by (at, seq) — the same comparator the
-// old single heap used (verified against it event-for-event by the
-// heapMode oracle in engine_oracle_test.go, and byte-identical on the
-// fig10/fig11/fig12 goldens).
+// Determinism is structural: every event executes in the total order
+// (at, lkey, seq). Local events (timers, injections, serialization
+// completions — everything whose cause and effect live on one engine)
+// carry lkey = -1 and order by the engine-local seq; link events (packet
+// arrivals and PFC pause/resume, the only events that can originate on a
+// *different* engine when the simulation is sharded) order by their
+// directed link's id and the sending port's own sequence counter. Because
+// the link key is assigned at the sender rather than at push time, the
+// order is a property of the traffic itself: a sharded run reconstructs
+// exactly the serial dispatch order, shard by shard (verified
+// event-for-event by the heapMode oracle in engine_oracle_test.go and the
+// serial-vs-parallel trace tests in shard_test.go, and byte-identical on
+// the fig10/fig11/fig12 goldens at every shard count).
 const (
 	// bucketShift sets the tick width: 256 ns, a few serialization times.
 	bucketShift = 8
@@ -47,8 +54,10 @@ const (
 type Engine struct {
 	now int64
 	seq uint64
-	// net is set by Network to dispatch typed events.
-	net *Network
+	// net is set by Network to dispatch typed events; shardIdx names the
+	// engine's shard for per-shard telemetry (0 in serial runs).
+	net      *Network
+	shardIdx int
 
 	// curTick is the tick whose bucket has been moved into cur; every
 	// pending event at tick ≤ curTick lives in cur, ticks in
@@ -99,8 +108,14 @@ var eventKindNames = [numEventKinds]string{
 
 type event struct {
 	at   int64
-	seq  uint64 // FIFO tiebreak for simultaneous events → determinism
+	seq  uint64 // tiebreak: engine-local FIFO, or per-link sequence
 	kind eventKind
+	// lkey is the total-order class: -1 for local events (ordered by the
+	// engine-local seq), or the directed-link id for link events (packet
+	// arrivals, PFC pause/resume), which order by (lkey, sender's per-link
+	// seq) so a sharded run reproduces the serial dispatch order exactly.
+	// It packs into the comparator as a single tiebreak field.
+	lkey int32
 	fn   func()
 	port *port
 	pkt  *Packet
@@ -109,7 +124,7 @@ type event struct {
 	host *host
 }
 
-// eventHeap is a typed binary min-heap ordered by (at, seq). It is
+// eventHeap is a typed binary min-heap ordered by (at, lkey, seq). It is
 // hand-rolled rather than built on container/heap because heap.Push boxes
 // every event into an interface — one heap allocation per scheduled event.
 // It serves three roles: the current-tick dispatch heap, the far-future
@@ -123,6 +138,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].lkey != h[j].lkey {
+		return h[i].lkey < h[j].lkey
 	}
 	return h[i].seq < h[j].seq
 }
@@ -197,12 +215,33 @@ func NewEngine() *Engine {
 // Now returns the current simulation time in nanoseconds.
 func (e *Engine) Now() int64 { return e.now }
 
+// push schedules a local event: it receives the engine-local sequence
+// number and the local order class (lkey = -1, before all link events at
+// the same instant).
 func (e *Engine) push(ev event) {
 	if ev.at < e.now {
 		ev.at = e.now
 	}
 	e.seq++
 	ev.seq = e.seq
+	ev.lkey = -1
+	e.schedByKind[ev.kind]++
+	if e.heapMode {
+		e.overflow.push(ev)
+		return
+	}
+	e.place(ev)
+}
+
+// pushLink schedules a link event whose (lkey, seq) total-order key was
+// assigned by the sending port. It is also the barrier-time delivery path
+// for cross-shard handoffs: the destination engine is quiescent between
+// lookahead windows, and the event's time is at least one propagation
+// delay past the window the sender ran in, so no clamping can occur.
+func (e *Engine) pushLink(ev event) {
+	if ev.at < e.now {
+		ev.at = e.now
+	}
 	e.schedByKind[ev.kind]++
 	if e.heapMode {
 		e.overflow.push(ev)
@@ -240,24 +279,45 @@ func (e *Engine) afterFinishTx(d int64, p *port, pkt *Packet) {
 	e.push(event{at: e.now + d, kind: evFinishTx, port: p, pkt: pkt})
 }
 
-func (e *Engine) afterArrive(d int64, node NodeID, pkt *Packet) {
-	e.push(event{at: e.now + d, kind: evArrive, node: node, pkt: pkt})
-}
-
 func (e *Engine) afterInject(d int64, h *host, fs *flowState) {
 	e.push(event{at: e.now + d, kind: evInject, host: h, flow: fs})
 }
 
-func (e *Engine) afterPFC(d int64, p *port, pause bool) {
-	kind := evPFCResume
-	if pause {
-		kind = evPFCPause
-	}
-	e.push(event{at: e.now + d, kind: kind, port: p})
-}
-
 // Pending reports the number of scheduled events.
 func (e *Engine) Pending() int { return len(e.cur) + e.wheelCount + len(e.overflow) }
+
+// NextEventAt reports the earliest pending event time, if any. The
+// parallel coordinator uses it between windows to skip empty lookahead
+// spans; the scan cost is bounded by one pass over the wheel's buckets
+// (cheap length checks), and during active traffic the first non-empty
+// bucket is near the current tick.
+func (e *Engine) NextEventAt() (int64, bool) {
+	// The tiers strictly partition time — cur holds ticks ≤ curTick, the
+	// wheel ticks in (curTick, curTick+numBuckets), overflow everything
+	// later — so the first non-empty tier owns the minimum.
+	if len(e.cur) > 0 {
+		return e.cur[0].at, true
+	}
+	if e.wheelCount > 0 {
+		for t := e.curTick + 1; ; t++ {
+			b := e.wheel[t&bucketMask]
+			if len(b) == 0 {
+				continue
+			}
+			min := b[0].at
+			for _, ev := range b[1:] {
+				if ev.at < min {
+					min = ev.at
+				}
+			}
+			return min, true
+		}
+	}
+	if len(e.overflow) > 0 {
+		return e.overflow[0].at, true
+	}
+	return 0, false
+}
 
 // advance turns the wheel to the given tick: overflow events that came
 // in-range cascade into the wheel (or straight into cur), then the tick's
@@ -375,15 +435,15 @@ func (e *Engine) dispatch(ev event) {
 	case evFinishTx:
 		e.net.finishTx(ev.port, ev.pkt)
 	case evArrive:
-		e.net.arrive(ev.node, 0, ev.pkt)
+		e.net.arrive(ev.node, ev.pkt)
 	case evInject:
 		ev.host.inject(ev.flow)
 	case evStart:
 		ev.host.startFlow(ev.flow)
 	case evDCQCNAlpha:
-		e.net.dcqcnAlphaTick(ev.flow)
+		e.net.dcqcnAlphaTick(e, ev.flow)
 	case evDCQCNRate:
-		e.net.dcqcnRateTick(ev.flow)
+		e.net.dcqcnRateTick(e, ev.flow)
 	case evRTO:
 		ev.host.rtoTick(ev.flow)
 	case evPFCPause:
@@ -404,6 +464,13 @@ func (e *Engine) flushStats() {
 	st := &e.net.stats
 	if d := e.eventsRun - e.eventsFlushed; d != 0 {
 		st.Events.Add(d)
+		if v := st.ShardEvents; v != nil {
+			i := e.shardIdx
+			if i >= v.Len() {
+				i = v.Len() - 1 // fold oversized shard counts into the last cell
+			}
+			v.At(i).Add(d)
+		}
 		e.eventsFlushed = e.eventsRun
 	}
 	st.WheelDepth.SetMax(int64(len(e.cur) + e.wheelCount))

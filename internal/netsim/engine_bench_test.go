@@ -3,6 +3,8 @@ package netsim
 import (
 	"fmt"
 	"testing"
+
+	"umon/internal/workload"
 )
 
 // Engine scheduling benchmarks: the timing wheel against the pre-wheel
@@ -133,6 +135,61 @@ func BenchmarkEngineArmTimers(b *testing.B) {
 			n.eng.Run(n.eng.Now() + n.cfg.DCQCN.RateTimerNs + 1)
 			fs.finished = false
 			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkFabricSim is the serial-vs-parallel matrix for BENCH_sim.json:
+// an end-to-end DCQCN workload simulation on the evaluation fat-trees at
+// 1, 2 and 4 shards. One op is a full build-and-run, so ns/op is the
+// wall-clock cost of the whole simulation; the shards=1 row is the serial
+// engine (run inline, no goroutines), and the speedup of shards=N over it
+// is the number a multi-core runner demonstrates.
+func BenchmarkFabricSim(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		k       int
+		horizon int64
+	}{
+		{name: "fattree-k4", k: 4, horizon: 2_000_000},
+		{name: "fattree-k8", k: 8, horizon: 500_000},
+	} {
+		topo, err := FatTree(tc.k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := DefaultConfig(topo)
+		flows, err := workload.Generate(workload.Config{
+			Dist: workload.FacebookHadoop(), Load: 0.3, Hosts: topo.Hosts,
+			LinkBps: cfg.LinkBps, DurationNs: tc.horizon, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("topo=%s/shards=%d", tc.name, shards), func(b *testing.B) {
+				b.ReportAllocs()
+				events := 0
+				for i := 0; i < b.N; i++ {
+					cfg := DefaultConfig(topo)
+					cfg.Shards = shards
+					n, err := New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, f := range flows {
+						if _, err := n.AddFlow(FlowSpec{Src: f.Src, Dst: f.Dst, Bytes: f.Bytes, StartNs: f.StartNs}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					tr := n.Run(tc.horizon)
+					if tr.TotalPackets() == 0 {
+						b.Fatal("benchmark moved no packets")
+					}
+					events = tr.Events
+				}
+				b.ReportMetric(float64(events), "events/op")
+			})
 		}
 	}
 }

@@ -30,12 +30,13 @@ type execRecord struct {
 	now int64
 }
 
-// driveScript pushes a fixed pseudo-random event storm through an engine
-// and records the execution order. Events rescheduling themselves, ties,
-// bucket-boundary times, past-time clamps and far-future times are all in
-// the mix.
-func driveScript(e *Engine) []execRecord {
-	var log []execRecord
+// scheduleStorm seeds an engine with a fixed pseudo-random event storm
+// that records its execution order into *log. Events rescheduling
+// themselves, ties, bucket-boundary times, past-time clamps and
+// far-future times are all in the mix. The storm is deterministic given
+// the execution order, so the same script can be replayed on any
+// scheduler (wheel, heap oracle, windowed parallel runner) and compared.
+func scheduleStorm(e *Engine, log *[]execRecord) {
 	rng := rngState{s: 0x9e3779b97f4a7c15}
 	id := 0
 	var reschedule func(depth int) func()
@@ -43,7 +44,7 @@ func driveScript(e *Engine) []execRecord {
 		me := id
 		id++
 		return func() {
-			log = append(log, execRecord{at: e.Now(), id: me, now: e.Now()})
+			*log = append(*log, execRecord{at: e.Now(), id: me, now: e.Now()})
 			if depth <= 0 {
 				return
 			}
@@ -69,7 +70,13 @@ func driveScript(e *Engine) []execRecord {
 		}
 		e.At(t, reschedule(6))
 	}
-	// Run in horizon slices to exercise mid-bucket clamping and re-entry.
+}
+
+// driveScript runs the storm on a standalone engine in horizon slices, to
+// exercise mid-bucket clamping and re-entry, and returns the execution log.
+func driveScript(e *Engine) []execRecord {
+	var log []execRecord
+	scheduleStorm(e, &log)
 	for _, until := range []int64{100, 4096, 4097, 1 << 14, 1 << 18, 1 << 30} {
 		e.Run(until)
 	}
@@ -183,5 +190,61 @@ func TestSimulationWheelMatchesHeapOracle(t *testing.T) {
 	normalizeTrace(want)
 	if !reflect.DeepEqual(got, want) {
 		t.Error("pfc-incast: wheel and heap traces differ")
+	}
+}
+
+// TestShardedEngineStormMatchesOracle is the storm oracle's multi-shard
+// mode: the identical adversarial script (same-tick ties, bucket
+// boundaries, past-time clamps, beyond-wheel-span hops) is seeded on every
+// shard engine of a sharded network, then executed by the windowed
+// parallel runner — whose lookahead barriers slice Run into many small
+// horizons at arbitrary offsets. Each shard must replay the storm in
+// exactly the order one standalone engine does, with worker goroutines,
+// in lockstep, and with every shard engine flipped to the heap oracle.
+func TestShardedEngineStormMatchesOracle(t *testing.T) {
+	const horizon = 1 << 22 // past the deepest far-future chain
+	ref := NewEngine()
+	var refLog []execRecord
+	scheduleStorm(ref, &refLog)
+	ref.Run(horizon)
+	if len(refLog) == 0 {
+		t.Fatal("storm executed no events")
+	}
+
+	run := func(shards int, heapMode, lockstep bool) [][]execRecord {
+		topo, err := Dumbbell(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(topo)
+		cfg.Shards = shards
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.lockstep = lockstep
+		logs := make([][]execRecord, len(n.shards))
+		for i, sh := range n.shards {
+			sh.eng.heapMode = heapMode
+			scheduleStorm(sh.eng, &logs[i])
+		}
+		n.Run(horizon)
+		return logs
+	}
+	for _, mode := range []struct {
+		name           string
+		shards         int
+		heap, lockstep bool
+	}{
+		{name: "goroutines", shards: 3},
+		{name: "lockstep", shards: 4, lockstep: true},
+		{name: "heap-oracle", shards: 4, heap: true},
+	} {
+		for i, lg := range run(mode.shards, mode.heap, mode.lockstep) {
+			if !reflect.DeepEqual(lg, refLog) {
+				t.Errorf("%s: shard %d storm order diverges from the standalone engine (%d vs %d events)",
+					mode.name, i, len(lg), len(refLog))
+			}
+		}
 	}
 }

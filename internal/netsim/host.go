@@ -72,6 +72,7 @@ type flowState struct {
 
 type host struct {
 	net     *Network
+	sh      *shard // owning shard: all of this host's events run on its engine
 	id      int
 	port    *port // single NIC uplink
 	flows   map[int32]*flowState
@@ -86,6 +87,7 @@ type host struct {
 func newHost(n *Network, id int) *host {
 	return &host{
 		net:      n,
+		sh:       n.shards[n.shardOf[id]],
 		id:       id,
 		port:     n.ports[id][0],
 		flows:    make(map[int32]*flowState),
@@ -149,14 +151,14 @@ func (n *Network) AddFlow(spec FlowSpec) (int32, error) {
 		ID: id, Key: key, Src: spec.Src, Dst: spec.Dst,
 		Bytes: spec.Bytes, StartNs: spec.StartNs,
 	})
-	n.eng.push(event{at: spec.StartNs, kind: evStart, host: h, flow: fs})
+	h.sh.eng.push(event{at: spec.StartNs, kind: evStart, host: h, flow: fs})
 	return id, nil
 }
 
 // startFlow runs a flow's evStart event: stamp the progress clock, inject
 // the first segment(s) and arm the flow's timer chains.
 func (h *host) startFlow(fs *flowState) {
-	fs.lastProgressNs = h.net.eng.Now()
+	fs.lastProgressNs = h.sh.eng.Now()
 	h.inject(fs)
 	if fs.win != nil {
 		h.armRTOTimer(fs)
@@ -180,14 +182,14 @@ func (h *host) inject(fs *flowState) {
 		}
 		return
 	}
-	now := h.net.eng.Now()
+	now := h.sh.eng.Now()
 
 	// On-off gating for scripted contenders.
 	if fs.spec.OnNs > 0 && fs.spec.OffNs > 0 {
 		cycle := fs.spec.OnNs + fs.spec.OffNs
 		phase := (now - fs.spec.StartNs) % cycle
 		if phase >= fs.spec.OnNs {
-			h.net.eng.afterInject(cycle-phase, h, fs)
+			h.sh.eng.afterInject(cycle-phase, h, fs)
 			return
 		}
 	}
@@ -213,7 +215,7 @@ func (h *host) inject(fs *flowState) {
 		gapNs = 1
 	}
 	fs.pacing = true
-	h.net.eng.afterInject(gapNs, h, fs)
+	h.sh.eng.afterInject(gapNs, h, fs)
 }
 
 // trySendWindow emits segments while the DCTCP window and the NIC queue
@@ -221,13 +223,13 @@ func (h *host) inject(fs *flowState) {
 // application-limited TCP behaviour of Figure 9a).
 func (h *host) trySendWindow(fs *flowState) {
 	if fs.spec.OnNs > 0 && fs.spec.OffNs > 0 && fs.remaining > 0 {
-		now := h.net.eng.Now()
+		now := h.sh.eng.Now()
 		cycle := fs.spec.OnNs + fs.spec.OffNs
 		phase := (now - fs.spec.StartNs) % cycle
 		if phase >= fs.spec.OnNs {
 			if !fs.pacing {
 				fs.pacing = true
-				h.net.eng.afterInject(cycle-phase, h, fs)
+				h.sh.eng.afterInject(cycle-phase, h, fs)
 			}
 			return
 		}
@@ -252,14 +254,14 @@ func (h *host) trySendWindow(fs *flowState) {
 // returning its wire size. (The packet itself may already be recycled by a
 // tail drop when this returns, so callers get the size, not the pointer.)
 func (h *host) sendSegment(fs *flowState) int32 {
-	now := h.net.eng.Now()
+	now := h.sh.eng.Now()
 	payload := int64(PayloadBytes)
 	if fs.remaining < payload {
 		payload = fs.remaining
 	}
 	fs.remaining -= payload
 	size := int32(payload + HeaderBytes)
-	pkt := h.net.newPacket()
+	pkt := h.sh.newPacket()
 	*pkt = Packet{
 		Flow:   fs.key,
 		FlowID: fs.id,
@@ -295,7 +297,7 @@ func (h *host) rewind(fs *flowState, to uint32) {
 	// are driven by ACKs and trySendWindow).
 	if fs.win == nil && !fs.pacing && !fs.blocked {
 		fs.pacing = true
-		h.net.eng.afterInject(1, h, fs)
+		h.sh.eng.afterInject(1, h, fs)
 	}
 }
 
@@ -316,8 +318,8 @@ func (h *host) onPortDrained(p *port) {
 // packet's final stop, so the packet is recycled once handled; no receive
 // path retains the pointer.
 func (h *host) receive(pkt *Packet) {
-	defer h.net.recycle(pkt)
-	now := h.net.eng.Now()
+	defer h.sh.recycle(pkt)
+	now := h.sh.eng.Now()
 	switch pkt.Type {
 	case Data:
 		if pkt.Rel {
@@ -384,7 +386,7 @@ func (h *host) receiveReliable(pkt *Packet, now int64) {
 
 // sendCtl emits an ACK or NAK back to the sender.
 func (h *host) sendCtl(data *Packet, typ PacketType, psn uint32, ce bool) {
-	pkt := h.net.newPacket()
+	pkt := h.sh.newPacket()
 	*pkt = Packet{
 		Flow:   data.Flow.Reverse(),
 		FlowID: data.FlowID,
@@ -392,7 +394,7 @@ func (h *host) sendCtl(data *Packet, typ PacketType, psn uint32, ce bool) {
 		PSN:    psn,
 		Size:   AckBytes,
 		CE:     ce, // ECE echo rides the ACK
-		SentNs: h.net.eng.Now(),
+		SentNs: h.sh.eng.Now(),
 	}
 	h.net.enqueue(h.port, pkt)
 }
@@ -404,7 +406,7 @@ func (h *host) maybeCNP(pkt *Packet, now int64) {
 		return
 	}
 	h.lastCNP[pkt.FlowID] = now
-	cnp := h.net.newPacket()
+	cnp := h.sh.newPacket()
 	*cnp = Packet{
 		Flow:   pkt.Flow.Reverse(),
 		FlowID: pkt.FlowID,

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"umon/internal/flowkey"
 )
@@ -53,6 +54,12 @@ type Config struct {
 	// matching the paper's DCQCN-without-PFC evaluation.
 	PFC  PFCConfig
 	Seed uint64
+	// Shards selects how many event-engine domains the simulation runs on.
+	// 1 (the default) is the serial engine: one wheel, no goroutines.
+	// Larger values partition the topology at link boundaries and run the
+	// shards concurrently under conservative lookahead = PropDelayNs; the
+	// trace is byte-identical at every shard count (see shard.go).
+	Shards int
 	// Stats, when non-nil, receives operational telemetry (event counts,
 	// free-list hit rate, ECN marks, queue high-water marks). Nil — the
 	// default — leaves the datapath uninstrumented at zero cost.
@@ -95,6 +102,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.HostInjectCapBytes <= 0 {
 		c.HostInjectCapBytes = 8 << 10
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Topo != nil && c.Shards > c.Topo.Nodes() {
+		c.Shards = c.Topo.Nodes()
 	}
 }
 
@@ -209,6 +222,19 @@ type port struct {
 	peerPort int
 	rateBps  float64
 
+	// sh is the owning node's shard: every event touching this port
+	// executes on its engine.
+	sh *shard
+	// lkey is the directed-link id of (owner, index) and lseq the number
+	// of link events sent through it — together the total-order key that
+	// lets a sharded run reproduce the serial dispatch order (engine.go).
+	lkey int32
+	lseq uint64
+	// rng drives this port's RED marking decisions. Per-port streams keep
+	// marking deterministic under sharding: a global stream's draw order
+	// would depend on the interleaving of unrelated ports.
+	rng rngState
+
 	queue  []*Packet
 	qbytes int64
 	busy   bool
@@ -233,28 +259,35 @@ type port struct {
 // Network is a running simulation.
 type Network struct {
 	cfg   Config
-	eng   *Engine
 	topo  *Topology
 	ports [][]*port
 	hosts []*host
 	trace *Trace
-	rngs  rngState
+	// shards are the event-engine domains (one in serial runs); shardOf
+	// maps every node to its shard index. eng aliases shards[0].eng — the
+	// whole engine in serial mode, kept as a field because tests and
+	// examples schedule custom events through it.
+	shards  []*shard
+	shardOf []int32
+	eng     *Engine
+	// lockstep (tests only) makes multi-shard runs execute the windowed
+	// loop inline, one shard at a time, instead of on worker goroutines.
+	lockstep bool
 	// stats is a value copy of Config.Stats (zero value when absent):
 	// every field is a nil-safe telemetry handle, so uninstrumented runs
 	// pay one nil check per site.
 	stats SimStats
-	// pktFree recycles packets whose journey ended (delivered, dropped or
-	// unroutable); senders draw from it before allocating. One simulation
-	// then allocates only as many Packets as are simultaneously in flight.
-	pktFree []*Packet
 	// OnHostEgress, if set, is invoked for every data packet leaving a
 	// host NIC (in addition to trace recording). The callback must not
 	// retain pkt beyond the call: the packet continues through the fabric
-	// and is recycled on delivery.
+	// and is recycled on delivery. With Shards > 1 it is invoked
+	// concurrently from shard goroutines — one goroutine per host, so
+	// per-host state needs no locking, but anything shared does.
 	OnHostEgress func(host int, pkt *Packet, now int64)
 	// OnSwitchCE, if set, is invoked for every CE-marked packet leaving a
 	// switch egress port — the live feed a µMon switch monitor taps. As
-	// with OnHostEgress, pkt must not be retained beyond the call.
+	// with OnHostEgress, pkt must not be retained beyond the call, and
+	// with Shards > 1 calls arrive concurrently (serialized per switch).
 	OnSwitchCE func(sw, port int16, pkt *Packet, now int64)
 }
 
@@ -273,6 +306,17 @@ func (r *rngState) float64() float64 {
 	return float64(r.next()>>11) / float64(1<<53)
 }
 
+// mix64 is SplitMix64's finalizer: seeds the per-port RNG streams from
+// (Seed, link id) with good avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
 // New builds a network over the configured topology.
 func New(cfg Config) (*Network, error) {
 	if cfg.Topo == nil {
@@ -281,27 +325,55 @@ func New(cfg Config) (*Network, error) {
 	cfg.fillDefaults()
 	n := &Network{
 		cfg:  cfg,
-		eng:  NewEngine(),
 		topo: cfg.Topo,
-		rngs: rngState{s: cfg.Seed*0x9e3779b97f4a7c15 + 0x1234567},
 	}
 	if cfg.Stats != nil {
 		n.stats = *cfg.Stats
 	}
-	n.eng.net = n
 	n.trace = &Trace{
 		HostPackets:  make([][]EgressRecord, cfg.Topo.Hosts),
 		QueueSamples: make(map[PortID][]QueueSample),
 	}
 	n.ports = make([][]*port, cfg.Topo.Nodes())
+	lk := int32(0)
 	for v := 0; v < cfg.Topo.Nodes(); v++ {
 		defs := cfg.Topo.Ports[v]
 		n.ports[v] = make([]*port, len(defs))
 		for i, d := range defs {
+			seed := mix64(cfg.Seed*0x9e3779b97f4a7c15 + uint64(lk)*0xbf58476d1ce4e5b9 + 0x1234567)
+			if seed == 0 {
+				seed = 0x9e3779b97f4a7c15
+			}
 			n.ports[v][i] = &port{
 				owner: NodeID(v), index: i,
 				peer: d.Peer, peerPort: d.PeerPort,
 				rateBps: cfg.LinkBps,
+				lkey:    lk,
+				rng:     rngState{s: seed},
+			}
+			lk++
+		}
+	}
+	n.shardOf = partitionNodes(cfg.Topo, cfg.Shards)
+	n.shards = make([]*shard, cfg.Shards)
+	for i := range n.shards {
+		sh := &shard{
+			idx: i, net: n, eng: NewEngine(),
+			samples: make(map[PortID][]QueueSample),
+			outbox:  make([][]event, cfg.Shards),
+		}
+		sh.eng.net = n
+		sh.eng.shardIdx = i
+		n.shards[i] = sh
+	}
+	n.eng = n.shards[0].eng
+	for v := 0; v < cfg.Topo.Nodes(); v++ {
+		sh := n.shards[n.shardOf[v]]
+		sh.nodes = append(sh.nodes, NodeID(v))
+		for _, p := range n.ports[v] {
+			p.sh = sh
+			if !cfg.Topo.IsHost(p.owner) {
+				sh.swPorts = append(sh.swPorts, p)
 			}
 		}
 	}
@@ -312,24 +384,10 @@ func New(cfg Config) (*Network, error) {
 	return n, nil
 }
 
-// Engine exposes the event engine (examples schedule custom events).
+// Engine exposes the event engine (examples schedule custom events). In
+// sharded runs this is shard 0's engine; custom events for other shards'
+// nodes belong on their own engines.
 func (n *Network) Engine() *Engine { return n.eng }
-
-// newPacket draws a recycled packet or allocates a fresh one. The caller
-// must overwrite every field (assign a full Packet literal).
-func (n *Network) newPacket() *Packet {
-	if k := len(n.pktFree); k > 0 {
-		p := n.pktFree[k-1]
-		n.pktFree = n.pktFree[:k-1]
-		n.stats.FreeHit.Inc()
-		return p
-	}
-	n.stats.FreeMiss.Inc()
-	return new(Packet)
-}
-
-// recycle returns a packet whose journey ended to the free list.
-func (n *Network) recycle(p *Packet) { n.pktFree = append(n.pktFree, p) }
 
 // Trace returns the accumulating trace.
 func (n *Network) Trace() *Trace { return n.trace }
@@ -340,24 +398,25 @@ func (n *Network) switchIndex(v NodeID) int16 { return int16(int(v) - n.topo.Hos
 // enqueue places pkt on the egress port, applying RED marking, episode
 // tracking and tail drop.
 func (n *Network) enqueue(p *port, pkt *Packet) {
-	now := n.eng.Now()
+	sh := p.sh
+	now := sh.eng.Now()
 	if p.qbytes+int64(pkt.Size) > n.cfg.BufferBytes {
 		p.drops++
 		n.stats.Drops.Inc()
-		if int(pkt.FlowID) < len(n.trace.Flows) {
-			n.trace.Flows[pkt.FlowID].Drops++
+		if int(pkt.FlowID) < len(sh.flowDrops) {
+			sh.flowDrops[pkt.FlowID]++
 		}
 		if !n.topo.IsHost(p.owner) && pkt.Type == Data {
-			n.trace.DropLog = append(n.trace.DropLog, DropRecord{
+			sh.dropLog = append(sh.dropLog, DropRecord{
 				Ns: now, Switch: n.switchIndex(p.owner), Port: int16(p.index), FlowID: pkt.FlowID,
 			})
 		}
-		n.recycle(pkt)
+		sh.recycle(pkt)
 		return
 	}
 	isSwitch := !n.topo.IsHost(p.owner)
 	if isSwitch && pkt.ECT && !pkt.CE {
-		if prob := n.cfg.ECN.markProb(p.qbytes); prob > 0 && (prob >= 1 || n.rngs.float64() < prob) {
+		if prob := n.cfg.ECN.markProb(p.qbytes); prob > 0 && (prob >= 1 || p.rng.float64() < prob) {
 			pkt.CE = true
 			n.stats.ECNMarks.Inc()
 		}
@@ -417,7 +476,10 @@ func (n *Network) finishEpisode(p *port, now int64) {
 	for f := range p.epFlows {
 		flows = append(flows, f)
 	}
-	n.trace.Episodes = append(n.trace.Episodes, Episode{
+	// Canonical order: map iteration would otherwise leak randomness into
+	// the trace (and shard-count dependence into the merged log).
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	p.sh.episodes = append(p.sh.episodes, Episode{
 		Port:     PortID{Switch: n.switchIndex(p.owner), Port: int16(p.index)},
 		StartNs:  p.epStart,
 		EndNs:    now,
@@ -443,13 +505,14 @@ func (n *Network) startTx(p *port) {
 	if txNs < 1 {
 		txNs = 1
 	}
-	n.eng.afterFinishTx(txNs, p, pkt)
+	p.sh.eng.afterFinishTx(txNs, p, pkt)
 }
 
 // finishTx completes serialization: the packet leaves the port and arrives
 // at the peer after the propagation delay.
 func (n *Network) finishTx(p *port, pkt *Packet) {
-	now := n.eng.Now()
+	sh := p.sh
+	now := sh.eng.Now()
 	p.queue = p.queue[1:]
 	p.qbytes -= int64(pkt.Size)
 
@@ -473,7 +536,7 @@ func (n *Network) finishTx(p *port, pkt *Packet) {
 		// ACL match candidates.
 		if pkt.CE {
 			sw := n.switchIndex(p.owner)
-			n.trace.CELog = append(n.trace.CELog, CERecord{
+			sh.ce = append(sh.ce, CERecord{
 				Ns:     now,
 				Switch: sw,
 				Port:   int16(p.index),
@@ -490,12 +553,12 @@ func (n *Network) finishTx(p *port, pkt *Packet) {
 		n.pfcCheck(p)
 	}
 
-	n.eng.afterArrive(n.cfg.PropDelayNs, p.peer, pkt)
+	n.routeArrive(p, pkt)
 	n.startTx(p)
 }
 
 // arrive delivers a packet to a node.
-func (n *Network) arrive(v NodeID, _ int, pkt *Packet) {
+func (n *Network) arrive(v NodeID, pkt *Packet) {
 	if n.topo.IsHost(v) {
 		n.hosts[v].receive(pkt)
 		return
@@ -504,7 +567,7 @@ func (n *Network) arrive(v NodeID, _ int, pkt *Packet) {
 	dst := pkt.dstHost()
 	hops := n.topo.NextHops(v, dst)
 	if len(hops) == 0 {
-		n.recycle(pkt)
+		n.shards[n.shardOf[v]].recycle(pkt)
 		return // unroutable; cannot happen on validated topologies
 	}
 	pi := hops[0]
@@ -514,40 +577,52 @@ func (n *Network) arrive(v NodeID, _ int, pkt *Packet) {
 	n.enqueue(n.ports[v][pi], pkt)
 }
 
-// scheduleQueueSampling arms periodic queue sampling on all switch ports.
+// scheduleQueueSampling arms periodic queue sampling: one tick chain per
+// shard, each sampling the switch ports that shard owns, so sampling needs
+// no cross-shard reads and the per-port series is identical at every shard
+// count.
 func (n *Network) scheduleQueueSampling(until int64) {
 	if n.cfg.QueueSampleNs <= 0 {
 		return
 	}
-	var tick func()
-	tick = func() {
-		now := n.eng.Now()
-		for v := n.topo.Hosts; v < n.topo.Nodes(); v++ {
-			for _, p := range n.ports[v] {
-				id := PortID{Switch: n.switchIndex(NodeID(v)), Port: int16(p.index)}
-				n.trace.QueueSamples[id] = append(n.trace.QueueSamples[id], QueueSample{Ns: now, Bytes: p.qbytes})
+	for _, sh := range n.shards {
+		if len(sh.swPorts) == 0 {
+			continue
+		}
+		sh := sh
+		var tick func()
+		tick = func() {
+			now := sh.eng.Now()
+			for _, p := range sh.swPorts {
+				id := PortID{Switch: n.switchIndex(p.owner), Port: int16(p.index)}
+				sh.samples[id] = append(sh.samples[id], QueueSample{Ns: now, Bytes: p.qbytes})
+			}
+			if now+n.cfg.QueueSampleNs <= until {
+				sh.eng.After(n.cfg.QueueSampleNs, tick)
 			}
 		}
-		if now+n.cfg.QueueSampleNs <= until {
-			n.eng.After(n.cfg.QueueSampleNs, tick)
-		}
+		sh.eng.At(0, tick)
 	}
-	n.eng.At(0, tick)
 }
 
 // Run executes the simulation until the given horizon, closing any episodes
-// still open, and returns the trace.
+// still open, and returns the trace. With one shard the engine runs inline
+// (the serial baseline); with several, runParallel drives the windowed
+// barrier loop, and finalize merges the per-shard buffers into the same
+// canonical trace either way.
 func (n *Network) Run(untilNs int64) *Trace {
-	n.scheduleQueueSampling(untilNs)
-	events := n.eng.Run(untilNs)
-	n.trace.Events = events
-	for v := n.topo.Hosts; v < n.topo.Nodes(); v++ {
-		for _, p := range n.ports[v] {
-			if p.epActive {
-				n.finishEpisode(p, untilNs)
-			}
+	for _, sh := range n.shards {
+		if len(sh.flowDrops) < len(n.trace.Flows) {
+			sh.flowDrops = make([]int64, len(n.trace.Flows))
 		}
 	}
+	n.scheduleQueueSampling(untilNs)
+	if len(n.shards) == 1 && !n.lockstep {
+		n.trace.Events = n.eng.Run(untilNs)
+	} else {
+		n.trace.Events = n.runParallel(untilNs)
+	}
+	n.finalize(untilNs)
 	n.trace.DurationNs = untilNs
 	return n.trace
 }

@@ -56,11 +56,15 @@ func (n *Network) pfcCheck(p *port) {
 // approximation and preserves the phenomenon that matters here: pause
 // propagation and head-of-line blocking.
 func (n *Network) sendPause(sw NodeID, pause bool) {
-	now := n.eng.Now()
-	n.trace.PFCLog = append(n.trace.PFCLog, PFCRecord{Ns: now, Switch: n.switchIndex(sw), Pause: pause})
+	sh := n.ports[sw][0].sh
+	now := sh.eng.Now()
+	sh.pfcLog = append(sh.pfcLog, PFCRecord{Ns: now, Switch: n.switchIndex(sw), Pause: pause})
 	for _, p := range n.ports[sw] {
-		feeder := n.ports[p.peer][p.peerPort]
-		n.eng.afterPFC(n.cfg.PropDelayNs, feeder, pause)
+		// Each pause rides port p's directed link toward its feeder,
+		// sharing the link's sequence with data so it cannot reorder
+		// around traffic sent before it — and so the feeder's shard (which
+		// may not be ours) dispatches it in the serial order.
+		n.routePFC(p, pause)
 	}
 }
 
@@ -71,10 +75,10 @@ func (n *Network) setPaused(p *port, pause bool) {
 	}
 	p.paused = pause
 	if pause {
-		p.pausedNs -= n.eng.Now() // accumulate on resume
+		p.pausedNs -= p.sh.eng.Now() // accumulate on resume
 		return
 	}
-	p.pausedNs += n.eng.Now()
+	p.pausedNs += p.sh.eng.Now()
 	if !p.busy && len(p.queue) > 0 {
 		n.startTx(p)
 	}

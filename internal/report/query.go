@@ -2,18 +2,22 @@ package report
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"umon/internal/flowkey"
 	"umon/internal/wavelet"
 	"umon/internal/wavesketch"
 )
 
-// curveCache memoizes one wavelet reconstruction. The sync.Once makes the
-// decode exactly-once and safe under parallel queries (the analyzer replays
-// an event's flows concurrently).
+// curveCache memoizes one wavelet reconstruction. Readers load the pointer
+// lock-free; a nil pointer means not resident (never decoded, or evicted
+// by the clock sweep when a decode budget is set). The hot bit is the
+// clock algorithm's second-chance marker, set on every hit. Decodes are
+// deterministic, so re-decoding after an eviction returns identical
+// curves — residency is purely a memory/CPU trade.
 type curveCache struct {
-	once  sync.Once
-	curve []float64
+	curve atomic.Pointer[[]float64]
+	hot   atomic.Bool
 }
 
 // bucketEntry is one light-part bucket with its lazily-decoded curve and
@@ -52,6 +56,16 @@ type Queryable struct {
 	// stats is a value copy of the optional decode telemetry (zero value =
 	// disabled; every handle nil-checks itself).
 	stats QueryStats
+	// Decode residency budget: with decodeBudget > 0 at most that many
+	// reconstructed curves stay resident, evicted by a clock (second
+	// chance) sweep over clockEntries. 0 keeps every curve forever (the
+	// historical behaviour — but unbounded: a long-lived analyzer querying
+	// many reports holds every curve it ever decoded).
+	decodeMu     sync.Mutex
+	decodeBudget int
+	decodeCount  int // resident curves; guarded by decodeMu
+	clockEntries []*curveCache
+	clockHand    int
 }
 
 // SetStats attaches decode telemetry. Call before issuing queries; not
@@ -60,6 +74,16 @@ func (q *Queryable) SetStats(s *QueryStats) {
 	if s != nil {
 		q.stats = *s
 	}
+}
+
+// SetDecodeBudget bounds how many reconstructed curves stay resident at
+// once (0 = unbounded). Call before issuing queries; not safe to race
+// with QueryRange. Estimates are unaffected — an evicted curve is
+// re-decoded on its next use and reconstruction is deterministic.
+func (q *Queryable) SetDecodeBudget(n int) {
+	q.decodeMu.Lock()
+	q.decodeBudget = n
+	q.decodeMu.Unlock()
 }
 
 // NewQueryable indexes a decoded report.
@@ -101,6 +125,14 @@ func NewQueryable(r *HostReport) *Queryable {
 		}
 		q.heavy[h.Key] = &hentries[i]
 	}
+	// The clock sweep's fixed rotation order over every curve slot.
+	q.clockEntries = make([]*curveCache, 0, len(entries)+len(hentries))
+	for i := range entries {
+		q.clockEntries = append(q.clockEntries, &entries[i].cache)
+	}
+	for i := range hentries {
+		q.clockEntries = append(q.clockEntries, &hentries[i].cache)
+	}
 	// Inverted colocation index: for every heavy flow, mark the light
 	// buckets it hashes into. Built once here — the per-query cost of a
 	// light estimate no longer depends on the heavy-set size. Two passes
@@ -124,7 +156,7 @@ func NewQueryable(r *HostReport) *Queryable {
 		if p.e.colocated == nil {
 			start := len(flat)
 			flat = flat[:start+p.e.ncol]
-			p.e.colocated = flat[start:start : start+p.e.ncol]
+			p.e.colocated = flat[start : start : start+p.e.ncol]
 		}
 		p.e.colocated = append(p.e.colocated, p.k)
 	}
@@ -170,31 +202,62 @@ func (q *Queryable) MightSee(f flowkey.Key) bool {
 }
 
 func (q *Queryable) heavyCurve(h *heavyEntry) []float64 {
-	cold := false
-	h.cache.once.Do(func() {
-		cold = true
-		h.cache.curve = wavelet.Reconstruct(h.exp.Approx, h.exp.Details, q.rep.Meta.Levels, h.exp.Len)
-	})
-	if cold {
-		q.stats.DecodeCold.Inc()
-	} else {
+	if p := h.cache.curve.Load(); p != nil {
+		h.cache.hot.Store(true)
 		q.stats.DecodeHits.Inc()
+		return *p
 	}
-	return h.cache.curve
+	curve := wavelet.Reconstruct(h.exp.Approx, h.exp.Details, q.rep.Meta.Levels, h.exp.Len)
+	q.stats.DecodeCold.Inc()
+	q.install(&h.cache, &curve)
+	return curve
 }
 
 func (q *Queryable) bucketCurve(e *bucketEntry) []float64 {
-	cold := false
-	e.cache.once.Do(func() {
-		cold = true
-		e.cache.curve = wavelet.Reconstruct(e.exp.Approx, e.exp.Details, q.rep.Meta.Levels, e.exp.Len)
-	})
-	if cold {
-		q.stats.DecodeCold.Inc()
-	} else {
+	if p := e.cache.curve.Load(); p != nil {
+		e.cache.hot.Store(true)
 		q.stats.DecodeHits.Inc()
+		return *p
 	}
-	return e.cache.curve
+	curve := wavelet.Reconstruct(e.exp.Approx, e.exp.Details, q.rep.Meta.Levels, e.exp.Len)
+	q.stats.DecodeCold.Inc()
+	q.install(&e.cache, &curve)
+	return curve
+}
+
+// install makes a freshly decoded curve resident. Unbounded budgets take
+// a lock-free CAS (concurrent first decodes each use their own copy; one
+// wins residency — the decode is deterministic, so both are correct).
+// Bounded budgets go through the mutex and run the clock sweep: rotate
+// over every slot, clear hot bits (second chance), evict the first cold
+// resident curve, until the cache is back under budget.
+func (q *Queryable) install(c *curveCache, curve *[]float64) {
+	if q.decodeBudget <= 0 {
+		c.curve.CompareAndSwap(nil, curve)
+		c.hot.Store(true)
+		return
+	}
+	q.decodeMu.Lock()
+	defer q.decodeMu.Unlock()
+	if c.curve.Load() != nil {
+		return // another query installed it while we decoded
+	}
+	for q.decodeCount >= q.decodeBudget {
+		victim := q.clockEntries[q.clockHand]
+		q.clockHand = (q.clockHand + 1) % len(q.clockEntries)
+		if victim == c || victim.curve.Load() == nil {
+			continue
+		}
+		if victim.hot.CompareAndSwap(true, false) {
+			continue // second chance
+		}
+		victim.curve.Store(nil)
+		q.decodeCount--
+		q.stats.DecodeEvictions.Inc()
+	}
+	c.curve.Store(curve)
+	c.hot.Store(true)
+	q.decodeCount++
 }
 
 // sliceInto writes curve[w-w0] for w in [from, to) into dst, zero where the

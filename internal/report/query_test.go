@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"umon/internal/flowkey"
+	"umon/internal/telemetry"
 	"umon/internal/wavesketch"
 )
 
@@ -117,8 +118,8 @@ func TestQueryableMatchesFullSketchProperty(t *testing.T) {
 }
 
 // TestQueryableConcurrentQueries hammers one Queryable from many
-// goroutines (run under -race): every reconstruction must decode exactly
-// once, and every answer must equal the sequential baseline.
+// goroutines (run under -race): decoded curves are shared through the
+// lock-free cache, and every answer must equal the sequential baseline.
 func TestQueryableConcurrentQueries(t *testing.T) {
 	full, flows := buildRandomFull(t, 42)
 	rep := FromFull(0, 0, full)
@@ -157,6 +158,106 @@ func TestQueryableConcurrentQueries(t *testing.T) {
 					}
 				}
 				q.MightSee(flows[fi])
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestDecodeBudgetEvictionCorrectness pins the bounded decode cache: with
+// a budget far below the report's curve count, queries keep matching the
+// live wavesketch.Full exactly — an evicted curve re-decodes to identical
+// values — and the clock sweep both evicts (evictions counter moves) and
+// keeps residency at the budget.
+func TestDecodeBudgetEvictionCorrectness(t *testing.T) {
+	full, flows := buildRandomFull(t, 9)
+	rep := FromFull(0, 0, full)
+	var buf bytes.Buffer
+	if _, err := rep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQueryable(dec)
+	if len(q.clockEntries) < 8 {
+		t.Fatalf("degenerate report: only %d curve slots", len(q.clockEntries))
+	}
+	const budget = 4
+	q.SetDecodeBudget(budget)
+	reg := telemetry.NewRegistry()
+	q.SetStats(NewQueryStats(reg))
+
+	// Two full passes: the second pass re-touches curves the first pass
+	// evicted, so correctness covers decode-after-evict.
+	for pass := 0; pass < 2; pass++ {
+		for _, f := range flows {
+			live := full.QueryRange(f, 0, 512)
+			got := q.QueryRange(f, 0, 512)
+			for i := range live {
+				if math.Abs(live[i]-got[i]) > 1e-6 {
+					t.Fatalf("pass %d flow %s win %d: live %v vs budgeted %v", pass, f, i, live[i], got[i])
+				}
+			}
+		}
+	}
+	if q.stats.DecodeEvictions.Value() == 0 {
+		t.Error("budget far below curve count but no evictions happened")
+	}
+	if q.decodeCount > budget {
+		t.Errorf("resident curves = %d, budget = %d", q.decodeCount, budget)
+	}
+	resident := 0
+	for _, c := range q.clockEntries {
+		if c.curve.Load() != nil {
+			resident++
+		}
+	}
+	if resident != q.decodeCount {
+		t.Errorf("resident count %d disagrees with decodeCount %d", resident, q.decodeCount)
+	}
+}
+
+// TestDecodeBudgetConcurrent races a budgeted Queryable from many
+// goroutines (run under -race): evictions and re-decodes must never
+// corrupt an answer.
+func TestDecodeBudgetConcurrent(t *testing.T) {
+	full, flows := buildRandomFull(t, 13)
+	rep := FromFull(0, 0, full)
+	var buf bytes.Buffer
+	if _, err := rep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := make([][]float64, len(flows))
+	qSeq := NewQueryable(dec)
+	for i, f := range flows {
+		baseline[i] = qSeq.QueryRange(f, 0, 512)
+	}
+
+	q := NewQueryable(dec)
+	q.SetDecodeBudget(3)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 101))
+			for iter := 0; iter < 40; iter++ {
+				fi := rng.Intn(len(flows))
+				got := q.QueryRange(flows[fi], 0, 512)
+				for i := range got {
+					if got[i] != baseline[fi][i] {
+						t.Errorf("goroutine %d: flow %d win %d: %v vs baseline %v",
+							g, fi, i, got[i], baseline[fi][i])
+						return
+					}
+				}
 			}
 		}(g)
 	}

@@ -4,7 +4,7 @@ import "umon/internal/telemetry"
 
 // QueryStats is the decode-side operational telemetry for Queryable: it
 // splits curve lookups into cold reconstructions and memoized hits, making
-// the sync.Once decode cache's effectiveness observable. All fields no-op
+// the decode cache's effectiveness observable. All fields no-op
 // when nil; a Queryable without stats carries the zero value and each
 // lookup pays one nil check.
 type QueryStats struct {
@@ -13,6 +13,10 @@ type QueryStats struct {
 	DecodeCold *telemetry.Counter
 	// DecodeHits counts curve lookups served from the memoized cache.
 	DecodeHits *telemetry.Counter
+	// DecodeEvictions counts resident curves dropped by the clock sweep
+	// when a decode budget is set (SetDecodeBudget). An evicted curve
+	// re-decodes on next use, so evictions trade CPU for bounded memory.
+	DecodeEvictions *telemetry.Counter
 }
 
 // NewQueryStats registers the decode metric set on reg (nil reg yields
@@ -24,5 +28,7 @@ func NewQueryStats(reg *telemetry.Registry) *QueryStats {
 	return &QueryStats{
 		DecodeCold: reg.Counter("umon_decode_cold_total", "wavelet curve reconstructions performed (decode cache misses)"),
 		DecodeHits: reg.Counter("umon_decode_cache_hits_total", "curve lookups served from the memoized decode cache"),
+		DecodeEvictions: reg.Counter("umon_decode_evictions_total",
+			"resident curves evicted by the decode-budget clock sweep"),
 	}
 }
