@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-accuracy bench-micro bench-ingest bench-baseline bench-query bench-query-baseline bench-sim bench-sim-baseline bench-mirror bench-mirror-baseline fuzz-seed vet
+.PHONY: build test test-short test-race bench bench-accuracy bench-micro bench-ingest bench-baseline bench-query bench-query-baseline bench-sim bench-sim-baseline bench-mirror bench-mirror-baseline perf-gate fuzz-seed vet stream-demo
 
 build:
 	$(GO) build ./...
@@ -32,12 +32,16 @@ test-race:
 	$(GO) test -race ./internal/mbuf
 	$(GO) test -race ./internal/pcapio
 	$(GO) test -race ./internal/packet
+	$(GO) test -race ./internal/report -run 'TestStream|FuzzReportStream'
+	$(GO) test -race ./internal/core -run 'TestStream'
+	$(GO) test -race ./internal/collect
+	$(GO) test -race ./cmd/umon-collect
 
 # Replay the fuzz seed corpora (the f.Add inputs) as plain regression
 # tests: go test runs every seed through the fuzz targets without the
 # mutation engine. CI runs this; `go test -fuzz` explores further locally.
 fuzz-seed:
-	$(GO) test -run 'Fuzz' ./internal/packet ./internal/pcapio -count 1
+	$(GO) test -run 'Fuzz' ./internal/packet ./internal/pcapio ./internal/report -count 1
 
 vet:
 	$(GO) vet ./...
@@ -135,3 +139,26 @@ bench-mirror:
 bench-mirror-baseline:
 	$(GO) test -run XXX -bench '$(MIRROR_BENCH)' -benchtime 2s -count 5 \
 		./internal/mbuf ./internal/pcapio ./internal/packet ./internal/analyzer | tee bench-mirror.base.txt
+
+# CI performance gate: re-run the mirror-datapath benchmarks (shorter
+# settings than bench-mirror — the 25% threshold absorbs the extra noise),
+# convert to benchjson, and fail if any benchmark named in the committed
+# BENCH_mirror.json baseline regressed in ns/op by more than
+# PERF_GATE_THRESHOLD percent or went missing. Refresh the baseline with
+# `make bench-mirror` after a deliberate perf change.
+PERF_GATE_THRESHOLD ?= 25
+perf-gate:
+	$(GO) test -run XXX -bench '$(MIRROR_BENCH)' -benchtime 1s -count 3 \
+		./internal/mbuf ./internal/pcapio ./internal/packet ./internal/analyzer | tee bench-gate.txt
+	$(GO) run ./cmd/benchjson -o bench-gate.json bench-gate.txt
+	$(GO) run ./cmd/benchgate -old BENCH_mirror.json -new bench-gate.json -threshold $(PERF_GATE_THRESHOLD)
+
+# End-to-end streaming demo: simulate an incast on the dumbbell while the
+# hosts seal epoch-rotated reports into one framed stream, then run the
+# collector daemon over the stream + mirror feed exactly as a deployment
+# would (bounded window, online detection, telemetry summary).
+stream-demo:
+	$(GO) run ./cmd/umon-sim -workload hadoop -ms 20 -stream -epoch-ms 2 \
+		-sample-bits 1 -out out/stream-demo
+	$(GO) run ./cmd/umon-collect -reports out/stream-demo/reports.umstream \
+		-mirrors out/stream-demo/mirrors.pcap -window 8 -epoch-ms 2 -telemetry-dump

@@ -116,41 +116,13 @@ func run(mirrorPath, reportDir string, gapNs int64, top int, replayMarginNs int6
 	fmt.Printf("mirrors       %d packets ingested, %d unparseable\n", a.Mirrors(), badMirror)
 
 	if reportDir != "" {
-		entries, err := filepath.Glob(filepath.Join(reportDir, "*.umon"))
-		if err != nil {
-			return err
-		}
-		sort.Strings(entries)
-		// Decode and index the reports in parallel (building the query
-		// indexes — colocation, routing bitmaps — is per-report work), then
-		// hand them to the analyzer in path order so its routing index is
-		// deterministic.
-		queryables := make([]*report.Queryable, len(entries))
 		span = tracer.Start("report_decode")
-		err = parallel.ForEachErr(len(entries), func(i int) error {
-			raw, err := os.ReadFile(entries[i])
-			if err != nil {
-				return err
-			}
-			rep, err := report.Decode(bytes.NewReader(raw))
-			if err != nil {
-				return fmt.Errorf("decoding %s: %w", entries[i], err)
-			}
-			q := report.NewQueryable(rep)
-			if decodeBudget > 0 {
-				q.SetDecodeBudget(decodeBudget)
-			}
-			queryables[i] = q
-			return nil
-		})
+		ingested, err := ingestReports(a, reportDir, decodeBudget)
+		span.End()
 		if err != nil {
 			return err
 		}
-		for _, q := range queryables {
-			a.AddQueryable(q)
-		}
-		span.End()
-		fmt.Printf("reports       %d ingested from %s\n", len(entries), reportDir)
+		fmt.Printf("reports       %d ingested from %s\n", ingested, reportDir)
 	}
 
 	span = tracer.Start("detect_events")
@@ -224,4 +196,109 @@ func run(mirrorPath, reportDir string, gapNs int64, top int, replayMarginNs int6
 		fmt.Println(strings.TrimRight(line, " ") + marker)
 	}
 	return nil
+}
+
+// ingestReports feeds host reports from path into the analyzer. Path may
+// be a directory holding legacy per-period .umon files and/or framed
+// .umstream files, or one stream file directly. Legacy files decode in
+// parallel and land in path order; stream frames land in file order — both
+// deterministic at any worker count.
+func ingestReports(a *analyzer.Analyzer, path string, decodeBudget int) (int, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if !st.IsDir() {
+		return ingestStreamFile(a, path, decodeBudget)
+	}
+	entries, err := filepath.Glob(filepath.Join(path, "*.umon"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(entries)
+	// Decode and index the legacy reports in parallel (building the query
+	// indexes — colocation, routing bitmaps — is per-report work), then
+	// hand them to the analyzer in path order so its routing index is
+	// deterministic.
+	queryables := make([]*report.Queryable, len(entries))
+	err = parallel.ForEachErr(len(entries), func(i int) error {
+		raw, err := os.ReadFile(entries[i])
+		if err != nil {
+			return err
+		}
+		rep, err := report.Decode(bytes.NewReader(raw))
+		if err != nil {
+			return fmt.Errorf("decoding %s: %w", entries[i], err)
+		}
+		q := report.NewQueryable(rep)
+		if decodeBudget > 0 {
+			q.SetDecodeBudget(decodeBudget)
+		}
+		queryables[i] = q
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, q := range queryables {
+		a.AddQueryable(q)
+	}
+	ingested := len(entries)
+
+	streams, err := filepath.Glob(filepath.Join(path, "*.umstream"))
+	if err != nil {
+		return ingested, err
+	}
+	sort.Strings(streams)
+	for _, sf := range streams {
+		n, err := ingestStreamFile(a, sf, decodeBudget)
+		ingested += n
+		if err != nil {
+			return ingested, err
+		}
+	}
+	return ingested, nil
+}
+
+// ingestStreamFile drains one epoch-rotated report stream into the
+// analyzer. CRC-damaged frames are skipped and reported, not fatal: the
+// reader stays framed past a corrupt record.
+func ingestStreamFile(a *analyzer.Analyzer, path string, decodeBudget int) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sr, err := report.NewStreamReader(f)
+	if err != nil {
+		return 0, fmt.Errorf("reading %s: %w", path, err)
+	}
+	ingested := 0
+	var fr report.Frame
+	for {
+		err := sr.Next(&fr)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return ingested, fmt.Errorf("reading %s: %w", path, err)
+		}
+		if fr.Type != report.FrameReport {
+			continue
+		}
+		rep, err := fr.Report()
+		if err != nil {
+			return ingested, fmt.Errorf("decoding %s frame %d: %w", path, ingested, err)
+		}
+		q := report.NewQueryable(rep)
+		if decodeBudget > 0 {
+			q.SetDecodeBudget(decodeBudget)
+		}
+		a.AddQueryable(q)
+		ingested++
+	}
+	if bad := sr.CRCErrors(); bad > 0 {
+		fmt.Fprintf(os.Stderr, "umon-analyze: %s: %d corrupt frames skipped\n", path, bad)
+	}
+	return ingested, nil
 }

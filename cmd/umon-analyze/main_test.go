@@ -5,11 +5,16 @@ import (
 	"path/filepath"
 	"testing"
 
+	"bytes"
+
+	"umon/internal/analyzer"
 	"umon/internal/flowkey"
 	"umon/internal/netsim"
 	"umon/internal/pcapio"
+	"umon/internal/report"
 	"umon/internal/telemetry"
 	"umon/internal/uevent"
+	"umon/internal/wavesketch"
 )
 
 // writeMirrorPcap fabricates a small mirror capture.
@@ -86,5 +91,77 @@ func TestAnalyzeGarbageCapture(t *testing.T) {
 	os.WriteFile(path, []byte("not a pcap"), 0o644)
 	if err := run(path, "", 1000, 1, 1000, 0, nil); err == nil {
 		t.Error("garbage capture must fail")
+	}
+}
+
+// TestAnalyzeFramedReports feeds the analyzer the same report payloads as
+// per-period .umon files and as one framed .umstream, plus a direct file
+// path — all three input shapes must ingest cleanly alongside a mirror
+// capture.
+func TestAnalyzeFramedReports(t *testing.T) {
+	mk := func(host int, w int64, v int64) *report.HostReport {
+		s, err := wavesketch.NewBasic(wavesketch.Default(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Update(flowkey.Key{SrcIP: 0x0a000101, DstIP: 0x0a000201, SrcPort: 9, DstPort: 4791, Proto: 17}, w, v)
+		s.Seal()
+		return report.FromBasic(host, 0, s)
+	}
+
+	legacyDir := t.TempDir()
+	pcap := filepath.Join(legacyDir, "mirrors.pcap")
+	writeMirrorPcap(t, pcap)
+	var raw bytes.Buffer
+	if _, err := mk(0, 12, 100).Encode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(legacyDir, "report-h00-000.umon"), raw.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	streamDir := t.TempDir()
+	sf, err := os.Create(filepath.Join(streamDir, "reports.umstream"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := report.NewStreamWriter(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(0); e < 3; e++ {
+		if err := sw.WriteReport(e, mk(int(e), 12, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Legacy directory, framed directory, and direct stream-file path.
+	if err := run(pcap, legacyDir, 50_000, 5, 100_000, 0, nil); err != nil {
+		t.Fatalf("legacy dir: %v", err)
+	}
+	if err := run(pcap, streamDir, 50_000, 5, 100_000, 0, nil); err != nil {
+		t.Fatalf("stream dir: %v", err)
+	}
+	if err := run(pcap, filepath.Join(streamDir, "reports.umstream"), 50_000, 5, 100_000, 2, nil); err != nil {
+		t.Fatalf("stream file: %v", err)
+	}
+
+	// Mixed directory: legacy + framed side by side.
+	if err := os.WriteFile(filepath.Join(streamDir, "report-h09-000.umon"), raw.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a := analyzer.New()
+	n, err := ingestReports(a, streamDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || a.Reports() != 4 {
+		t.Fatalf("mixed dir ingested %d (analyzer %d), want 4", n, a.Reports())
 	}
 }

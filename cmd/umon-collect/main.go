@@ -1,0 +1,323 @@
+// umon-collect is the long-lived µMon collector daemon: it continuously
+// ingests the epoch-rotated report stream hosts ship and the mirrored
+// µEvent packets switches emit, holds a bounded sliding window of
+// queryable epochs, and detects congestion events online — printing each
+// event as soon as the mirror watermark proves it closed.
+//
+// Usage:
+//
+//	umon-collect -reports out/reports.umstream -mirrors out/mirrors.pcap
+//	             [-window 16] [-epoch-ms 20] [-gap-us 50] [-decode-budget 64]
+//	             [-follow] [-telemetry-addr :9107]
+//
+// With -follow the daemon tails both inputs as they grow and runs until
+// SIGINT/SIGTERM, then drains open events and prints a summary. Without
+// it, the daemon processes the files to EOF and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"umon/internal/analyzer"
+	"umon/internal/collect"
+	"umon/internal/mbuf"
+	"umon/internal/pcapio"
+	"umon/internal/report"
+	"umon/internal/telemetry"
+)
+
+func main() {
+	reports := flag.String("reports", "", "epoch-rotated report stream (.umstream) from hosts")
+	mirrors := flag.String("mirrors", "", "mirror pcap feed from switches")
+	window := flag.Int("window", 16, "epochs kept resident; older epochs are evicted (0: unbounded)")
+	epochMs := flag.Int64("epoch-ms", 20, "host sealing period in milliseconds")
+	gapUs := flag.Int64("gap-us", 50, "event clustering gap in microseconds")
+	decodeBudget := flag.Int("decode-budget", 0, "max resident decoded curves per report (0: unbounded)")
+	follow := flag.Bool("follow", false, "tail growing inputs until SIGINT/SIGTERM instead of stopping at EOF")
+	pollMs := flag.Int64("poll-ms", 50, "tail polling interval in -follow mode")
+	quiet := flag.Bool("quiet", false, "suppress per-event lines (summary only)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry on this address (/metrics Prometheus, /vars JSON, /debug/pprof)")
+	telemetryDump := flag.Bool("telemetry-dump", false, "print a telemetry summary to stderr at end of run")
+	flag.Parse()
+
+	if *reports == "" && *mirrors == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	reg := telemetry.NewRegistry()
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(*telemetryAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "umon-collect:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "umon-collect: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, options{
+		reports:      *reports,
+		mirrors:      *mirrors,
+		window:       *window,
+		epochNs:      *epochMs * 1_000_000,
+		gapNs:        *gapUs * 1000,
+		decodeBudget: *decodeBudget,
+		follow:       *follow,
+		pollInterval: time.Duration(*pollMs) * time.Millisecond,
+		quiet:        *quiet,
+		out:          os.Stdout,
+	}, reg)
+	if *telemetryDump {
+		reg.WriteSummary(os.Stderr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "umon-collect:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	reports, mirrors string
+	window           int
+	epochNs          int64
+	gapNs            int64
+	decodeBudget     int
+	follow           bool
+	pollInterval     time.Duration
+	quiet            bool
+	out              io.Writer
+}
+
+// tailReader turns a growing file into a blocking stream: EOF means "no
+// more bytes yet", so it polls until new data lands or the context ends —
+// only then does it surface io.EOF to the consumer. Partial frames mid-
+// write are invisible: the framed readers just block inside ReadFull until
+// the writer finishes the frame.
+type tailReader struct {
+	ctx  context.Context
+	f    *os.File
+	poll time.Duration
+}
+
+func (t *tailReader) Read(p []byte) (int, error) {
+	for {
+		n, err := t.f.Read(p)
+		if n > 0 || err != io.EOF {
+			return n, err
+		}
+		select {
+		case <-t.ctx.Done():
+			return 0, io.EOF
+		case <-time.After(t.poll):
+		}
+	}
+}
+
+func run(ctx context.Context, opt options, reg *telemetry.Registry) error {
+	stats := collect.NewStats(reg)
+	// The collector is single-goroutine; the two ingest loops (reports,
+	// mirrors) serialize on this mutex. Events print from whichever loop
+	// closes them.
+	var mu sync.Mutex
+	onEvent := func(ev analyzer.Event) {
+		if opt.quiet {
+			return
+		}
+		fmt.Fprintf(opt.out, "event  sw%d/p%d  t=%.0f-%.0fus  %d pkts  %d flows\n",
+			ev.Port.Switch, ev.Port.Port,
+			float64(ev.StartNs)/1000, float64(ev.EndNs)/1000,
+			ev.Packets, len(ev.Flows))
+	}
+	c := collect.New(collect.Config{
+		WindowEpochs: opt.window,
+		EpochNs:      opt.epochNs,
+		GapNs:        opt.gapNs,
+		DecodeBudget: opt.decodeBudget,
+		OnEvent:      onEvent,
+		Stats:        stats,
+	})
+
+	open := func(path string) (io.Reader, *os.File, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if opt.follow {
+			return &tailReader{ctx: ctx, f: f, poll: opt.pollInterval}, f, nil
+		}
+		return f, f, nil
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+	var reportsIn, mirrorsIn, badReports, badMirrors int
+
+	if opt.reports != "" {
+		rd, f, err := open(opt.reports)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sr, err := report.NewStreamReader(rd)
+			if err != nil {
+				errCh <- fmt.Errorf("reading %s: %w", opt.reports, err)
+				return
+			}
+			var fr report.Frame
+			for {
+				err := sr.Next(&fr)
+				if err == io.EOF {
+					break
+				}
+				if err == io.ErrUnexpectedEOF && ctx.Err() != nil {
+					break // shut down mid-frame while tailing
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("reading %s: %w", opt.reports, err)
+					return
+				}
+				if fr.Type != report.FrameReport {
+					continue
+				}
+				mu.Lock()
+				err = c.AddEncoded(fr.Epoch, fr.Payload)
+				mu.Unlock()
+				if err != nil {
+					badReports++
+					continue
+				}
+				reportsIn++
+			}
+			badReports += sr.CRCErrors()
+		}()
+	}
+
+	if opt.mirrors != "" {
+		rd, f, err := open(opt.mirrors)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool := mbuf.New(mbuf.Config{Stats: mbuf.NewPoolStats(reg)})
+			pr, err := pcapio.NewReaderOpts(rd, pcapio.ReaderOpts{Pool: pool})
+			if err != nil {
+				errCh <- fmt.Errorf("reading %s: %w", opt.mirrors, err)
+				return
+			}
+			defer pr.Close()
+			if opt.follow {
+				// Tailing: a batched read would block until a full batch
+				// accumulates, so drain record by record — each packet lands
+				// in the collector as soon as its bytes hit the file.
+				for {
+					p, rerr := pr.ReadPacket()
+					if rerr == io.EOF {
+						break
+					}
+					if rerr != nil {
+						if ctx.Err() != nil {
+							break // torn record at shutdown while tailing
+						}
+						errCh <- fmt.Errorf("reading %s: %w", opt.mirrors, rerr)
+						return
+					}
+					mu.Lock()
+					if err := c.AddMirrorPacket(p.Data); err != nil {
+						badMirrors++
+					} else {
+						mirrorsIn++
+					}
+					c.Poll()
+					mu.Unlock()
+				}
+				return
+			}
+			// Complete file: the zero-copy batch path (in-place views of
+			// pooled buffers, no per-packet copy).
+			var batch pcapio.Batch
+			for {
+				n, rerr := pr.ReadBatch(&batch, pcapio.DefaultBatchSize)
+				mu.Lock()
+				for _, p := range batch.Pkts[:n] {
+					if err := c.AddMirrorPacket(p.Data); err != nil {
+						badMirrors++
+						continue
+					}
+					mirrorsIn++
+				}
+				c.Poll()
+				mu.Unlock()
+				if rerr == io.EOF {
+					break
+				}
+				if rerr != nil {
+					batch.Release()
+					errCh <- fmt.Errorf("reading %s: %w", opt.mirrors, rerr)
+					return
+				}
+			}
+			batch.Release()
+		}()
+	}
+
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+
+	// End of input (or shutdown): close every still-open event and report.
+	mu.Lock()
+	events := c.Drain()
+	epochs, resident := c.Window()
+	mu.Unlock()
+
+	fmt.Fprintf(opt.out, "ingested      %d epoch reports (%d bad), %d mirrors (%d bad)\n",
+		reportsIn, badReports, mirrorsIn, badMirrors)
+	fmt.Fprintf(opt.out, "window        %d epochs resident (%d reports), %d evicted\n",
+		len(epochs), resident, reg.Value("umon_collect_evictions_total"))
+	fmt.Fprintf(opt.out, "events        %d detected (gap %dus)\n", len(events), opt.gapNs/1000)
+	if n := stats.DetectLagNs.Count(); n > 0 {
+		fmt.Fprintf(opt.out, "detect lag    %.0fus mean over %d online emissions\n",
+			float64(stats.DetectLagNs.Sum())/float64(n)/1000, n)
+	}
+	if len(events) > 0 {
+		ds := analyzer.Durations(events)
+		fmt.Fprintf(opt.out, "durations     p50 %.0fus  p90 %.0fus  p99 %.0fus  max %.0fus\n",
+			float64(ds.P50Ns)/1000, float64(ds.P90Ns)/1000,
+			float64(ds.P99Ns)/1000, float64(ds.MaxNs)/1000)
+		best := events[0]
+		for _, ev := range events {
+			if ev.Packets > best.Packets {
+				best = ev
+			}
+		}
+		view := c.Replay(best, 250_000)
+		var mass float64
+		for _, curve := range view.Curves {
+			for _, v := range curve {
+				mass += v
+			}
+		}
+		fmt.Fprintf(opt.out, "replay        largest event %s: %d flows, %.0f bytes over %d windows\n",
+			best.String(), len(view.Curves), mass, view.Windows)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"umon/internal/flowkey"
+	"umon/internal/netsim"
+	"umon/internal/pcapio"
+	"umon/internal/report"
+	"umon/internal/telemetry"
+	"umon/internal/uevent"
+	"umon/internal/wavesketch"
+)
+
+func testFlow(i int) flowkey.Key {
+	return flowkey.Key{
+		SrcIP: 0x0a000101 + uint32(i), DstIP: 0x0a000201,
+		SrcPort: uint16(9000 + i), DstPort: flowkey.RoCEPort, Proto: flowkey.ProtoUDP,
+	}
+}
+
+// writeArtifacts fabricates a matching (reports.umstream, mirrors.pcap)
+// pair: three epochs of reports for two hosts, and two bursts of mirrors
+// separated by a quiet valley so online detection closes the first burst
+// before input ends.
+func writeArtifacts(t *testing.T, dir string) (reportsPath, mirrorsPath string) {
+	t.Helper()
+	reportsPath = filepath.Join(dir, "reports.umstream")
+	mirrorsPath = filepath.Join(dir, "mirrors.pcap")
+
+	rf, err := os.Create(reportsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	sw, err := report.NewStreamWriter(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(0); e < 3; e++ {
+		for h := 0; h < 2; h++ {
+			s, err := wavesketch.NewBasic(wavesketch.Default(16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Update(testFlow(h), 12, 4096)
+			s.Seal()
+			if err := sw.WriteReport(e, report.FromBasic(h, 0, s)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mf, err := os.Create(mirrorsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	w := pcapio.NewWriter(mf, 0)
+	writeBurst := func(startNs int64, n int) {
+		for i := 0; i < n; i++ {
+			rec := uevent.MirrorRecord{
+				Port:        netsim.PortID{Switch: 2, Port: 1},
+				TimestampNs: startNs + int64(i)*5_000,
+				PSN:         uint32(i * 64),
+				OrigBytes:   1058, WireBytes: 1058,
+				Flow: testFlow(i % 2),
+			}
+			if err := w.WritePacket(pcapio.Packet{
+				TimestampNs: rec.TimestampNs,
+				Data:        uevent.EncodeMirrorPacket(rec),
+				OrigLen:     1058,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	writeBurst(100_000, 20)
+	writeBurst(2_000_000, 20)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return reportsPath, mirrorsPath
+}
+
+func TestCollectOneShot(t *testing.T) {
+	dir := t.TempDir()
+	reports, mirrors := writeArtifacts(t, dir)
+	reg := telemetry.NewRegistry()
+	var out bytes.Buffer
+	err := run(context.Background(), options{
+		reports: reports, mirrors: mirrors,
+		window: 16, epochNs: 20_000_000, gapNs: 50_000,
+		out: &out,
+	}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "events        2 detected") {
+		t.Errorf("summary missing the two burst events:\n%s", text)
+	}
+	if !strings.Contains(text, "ingested      6 epoch reports (0 bad), 40 mirrors (0 bad)") {
+		t.Errorf("summary ingest line wrong:\n%s", text)
+	}
+	// The first burst must have closed online (lag measured), not at Drain.
+	if reg.Value("umon_collect_detect_lag_ns") == 0 {
+		t.Error("no online event emission observed")
+	}
+	if !strings.Contains(text, "replay        largest event") {
+		t.Errorf("summary missing replay line:\n%s", text)
+	}
+}
+
+// TestCollectFollowShutdown exercises the daemon shape: inputs grow while
+// the collector tails them; cancelling the context (the SIGTERM path)
+// drains and summarizes.
+func TestCollectFollowShutdown(t *testing.T) {
+	dir := t.TempDir()
+	// Start with complete artifacts; follow mode will read them and then
+	// idle at EOF until cancelled.
+	reports, mirrors := writeArtifacts(t, dir)
+	reg := telemetry.NewRegistry()
+	var out bytes.Buffer
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var runErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runErr = run(ctx, options{
+			reports: reports, mirrors: mirrors,
+			window: 16, epochNs: 20_000_000, gapNs: 50_000,
+			follow: true, pollInterval: 5 * time.Millisecond,
+			quiet: true, out: &out,
+		}, reg)
+	}()
+
+	// Wait until the tailing daemon has ingested everything, then shut it
+	// down like SIGTERM would.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Value("umon_collect_mirrors_ingested_total") < 40 ||
+		reg.Value("umon_collect_reports_ingested_total") < 6 {
+		if time.Now().After(deadline) {
+			cancel()
+			wg.Wait()
+			t.Fatalf("daemon never ingested the artifacts (err %v)", runErr)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if !strings.Contains(out.String(), "events        2 detected") {
+		t.Errorf("shutdown summary missing events:\n%s", out.String())
+	}
+}
+
+func TestCollectMissingInput(t *testing.T) {
+	err := run(context.Background(), options{
+		reports: filepath.Join(t.TempDir(), "absent.umstream"),
+		window:  4, epochNs: 20_000_000, gapNs: 50_000, out: &bytes.Buffer{},
+	}, telemetry.NewRegistry())
+	if err == nil {
+		t.Error("missing input must fail")
+	}
+}

@@ -40,6 +40,8 @@ func main() {
 	sampleBits := flag.Uint("sample-bits", 6, "event sampling: probability 1/2^bits")
 	shards := flag.Int("shards", 0, "simulation engine shards (0: UMON_WORKERS or 1; the trace is identical at any count)")
 	outDir := flag.String("out", "umon-out", "output directory")
+	stream := flag.Bool("stream", false, "ship host reports as one epoch-rotated stream (reports.umstream) instead of per-period files")
+	epochMs := flag.Int64("epoch-ms", 0, "host sealing period in milliseconds (0: one period spanning the whole run)")
 	tracePcap := flag.Bool("trace-pcap", false, "also dump host egress traffic (headers) as traffic.pcap")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry on this address (/metrics Prometheus, /vars JSON, /debug/pprof)")
 	telemetryDump := flag.Bool("telemetry-dump", false, "print a telemetry summary to stderr at end of run")
@@ -65,7 +67,7 @@ func main() {
 			*shards = 1
 		}
 	}
-	err := run(*wl, *load, *ms, *seed, *sampleBits, *shards, *outDir, *tracePcap, reg)
+	err := run(*wl, *load, *ms, *seed, *sampleBits, *shards, *outDir, *stream, *epochMs, *tracePcap, reg)
 	if *telemetryDump {
 		reg.WriteSummary(os.Stderr)
 	}
@@ -75,7 +77,7 @@ func main() {
 	}
 }
 
-func run(wl string, load float64, ms, seed int64, sampleBits uint, shards int, outDir string, tracePcap bool, reg *telemetry.Registry) error {
+func run(wl string, load float64, ms, seed int64, sampleBits uint, shards int, outDir string, stream bool, epochMs int64, tracePcap bool, reg *telemetry.Registry) error {
 	var dist *workload.Distribution
 	switch strings.ToLower(wl) {
 	case "hadoop":
@@ -134,7 +136,27 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, shards int, o
 
 	sysCfg := core.DefaultSystem()
 	sysCfg.Host.PeriodNs = ms * 1_000_000
+	if epochMs > 0 {
+		sysCfg.Host.PeriodNs = epochMs * 1_000_000
+	}
 	sysCfg.Switch.Rule = uevent.ACLRule{SampleBits: sampleBits}
+
+	// Streaming mode ships every host's sealed epochs into one framed,
+	// seekable stream file instead of per-period report files — the input
+	// shape umon-collect tails. The sink serializes concurrent Ship calls,
+	// so it is safe at any shard count.
+	var streamSink *core.StreamSink
+	if stream {
+		sf, err := os.Create(filepath.Join(outDir, "reports.umstream"))
+		if err != nil {
+			return err
+		}
+		defer sf.Close()
+		streamSink, err = core.NewStreamSink(sf)
+		if err != nil {
+			return err
+		}
+	}
 
 	// With shards > 1 the netsim callbacks fire concurrently (serialized
 	// per host/switch, not globally): the error slot takes a mutex, and
@@ -162,6 +184,9 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, shards int, o
 		})
 		if err != nil {
 			return err
+		}
+		if streamSink != nil {
+			hm.SetSink(streamSink)
 		}
 		hosts[h] = hm
 	}
@@ -270,6 +295,11 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, shards int, o
 			return err
 		}
 	}
+	if streamSink != nil {
+		if err := streamSink.Close(); err != nil {
+			return err
+		}
+	}
 	if pipelineErr != nil {
 		return pipelineErr
 	}
@@ -281,12 +311,18 @@ func run(wl string, load float64, ms, seed int64, sampleBits uint, shards int, o
 	}
 	fmt.Printf("workload      %s %.0f%% load, %d flows, %d packets\n", dist.Name, load*100, len(flows), tr.TotalPackets())
 	fmt.Printf("events        %d ground-truth episodes, %d CE observations\n", len(tr.Episodes), len(tr.CELog))
-	reportFiles := 0
-	for _, s := range hostSeq {
-		reportFiles += s
+	if streamSink != nil {
+		fmt.Printf("reports       %d framed epochs in reports.umstream, %d bytes (%.2f Mbps/host avg)\n",
+			streamSink.Frames(), reportBytes,
+			float64(reportBytes)*8/float64(horizon)*1e9/1e6/float64(topo.Hosts))
+	} else {
+		reportFiles := 0
+		for _, s := range hostSeq {
+			reportFiles += s
+		}
+		fmt.Printf("reports       %d files, %d bytes (%.2f Mbps/host avg)\n", reportFiles, reportBytes,
+			float64(reportBytes)*8/float64(horizon)*1e9/1e6/float64(topo.Hosts))
 	}
-	fmt.Printf("reports       %d files, %d bytes (%.2f Mbps/host avg)\n", reportFiles, reportBytes,
-		float64(reportBytes)*8/float64(horizon)*1e9/1e6/float64(topo.Hosts))
 	fmt.Printf("output        %s\n", outDir)
 	return nil
 }

@@ -8,13 +8,16 @@ import (
 	"strings"
 	"testing"
 
+	"fmt"
+
 	"umon/internal/pcapio"
+	"umon/internal/report"
 	"umon/internal/telemetry"
 )
 
 func TestRunProducesArtifacts(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("hadoop", 0.15, 2, 7, 4, 1, dir, true, nil); err != nil {
+	if err := run("hadoop", 0.15, 2, 7, 4, 1, dir, false, 0, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Mirror pcap exists and parses.
@@ -59,7 +62,7 @@ func TestRunProducesArtifacts(t *testing.T) {
 }
 
 func TestRunRejectsUnknownWorkload(t *testing.T) {
-	if err := run("netflix", 0.15, 1, 7, 4, 1, t.TempDir(), false, nil); err == nil {
+	if err := run("netflix", 0.15, 1, 7, 4, 1, t.TempDir(), false, 0, false, nil); err == nil {
 		t.Error("unknown workload must fail")
 	}
 }
@@ -70,7 +73,7 @@ func TestRunRejectsUnknownWorkload(t *testing.T) {
 // present at zero.
 func TestRunTelemetryCoversAcceptanceFamilies(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	if err := run("hadoop", 0.15, 1, 7, 4, 1, t.TempDir(), false, reg); err != nil {
+	if err := run("hadoop", 0.15, 1, 7, 4, 1, t.TempDir(), false, 0, false, reg); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -105,10 +108,10 @@ func TestRunTelemetryCoversAcceptanceFamilies(t *testing.T) {
 // refused under sharding.
 func TestRunShardedMatchesSerialArtifacts(t *testing.T) {
 	serialDir, shardDir := t.TempDir(), t.TempDir()
-	if err := run("hadoop", 0.15, 2, 7, 4, 1, serialDir, false, nil); err != nil {
+	if err := run("hadoop", 0.15, 2, 7, 4, 1, serialDir, false, 0, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("hadoop", 0.15, 2, 7, 4, 3, shardDir, false, nil); err != nil {
+	if err := run("hadoop", 0.15, 2, 7, 4, 3, shardDir, false, 0, false, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -168,7 +171,75 @@ func TestRunShardedMatchesSerialArtifacts(t *testing.T) {
 		}
 	}
 
-	if err := run("hadoop", 0.15, 1, 7, 4, 2, t.TempDir(), true, nil); err == nil {
+	if err := run("hadoop", 0.15, 1, 7, 4, 2, t.TempDir(), false, 0, true, nil); err == nil {
 		t.Error("-trace-pcap with shards > 1 must be refused")
+	}
+}
+
+// TestRunStreamMode runs the sim in streaming mode: sealed epochs land in
+// one framed reports.umstream (decodable, indexed) instead of per-period
+// files, and the result is identical at any shard count.
+func TestRunStreamMode(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("hadoop", 0.15, 2, 7, 4, 1, dir, true, 1, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if legacy, _ := filepath.Glob(filepath.Join(dir, "*.umon")); len(legacy) != 0 {
+		t.Errorf("stream mode still wrote %d per-period files", len(legacy))
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "reports.umstream"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, bad, err := report.ReadStream(bytes.NewReader(raw))
+	if err != nil || bad != 0 {
+		t.Fatalf("stream decode: %v (bad %d)", err, bad)
+	}
+	// 16 fat-tree hosts × (-ms 2 split into 1 ms epochs + final partial).
+	if len(reports) < 32 {
+		t.Fatalf("streamed %d epoch reports, want >= 32", len(reports))
+	}
+	idx, err := report.ReadIndex(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != len(reports) {
+		t.Errorf("index has %d entries for %d frames", len(idx), len(reports))
+	}
+
+	// Sharded streaming produces the same epoch payload set (frame order
+	// may differ: hosts flush concurrently).
+	shardDir := t.TempDir()
+	if err := run("hadoop", 0.15, 2, 7, 4, 3, shardDir, true, 1, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := os.ReadFile(filepath.Join(shardDir, "reports.umstream"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports2, bad2, err := report.ReadStream(bytes.NewReader(raw2))
+	if err != nil || bad2 != 0 {
+		t.Fatalf("sharded stream decode: %v (bad %d)", err, bad2)
+	}
+	canon := func(rs []report.EpochReport) []string {
+		out := make([]string, len(rs))
+		for i, er := range rs {
+			var buf bytes.Buffer
+			if _, err := er.Report.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out[i] = fmt.Sprintf("%d|%d|%s", er.Epoch, er.Report.Host, buf.String())
+		}
+		sort.Strings(out)
+		return out
+	}
+	a, b := canon(reports), canon(reports2)
+	if len(a) != len(b) {
+		t.Fatalf("epoch count differs: serial %d, sharded %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("epoch payload %d differs between serial and sharded streaming run", i)
+		}
 	}
 }

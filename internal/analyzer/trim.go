@@ -1,0 +1,73 @@
+package analyzer
+
+// TrimBefore drops analyzer state that ended before cutNs, bounding memory
+// for long-lived deployments (the collector daemon calls this as its epoch
+// window slides). Three things go: retained mirror records with timestamps
+// before the cut, sealed events whose EndNs is before the cut, and an open
+// event that went quiet before the cut (it is sealed first, then dropped —
+// identical to what DetectEvents would have emitted). Host reports are not
+// owned by the analyzer's trim horizon; the collector evicts Queryables
+// separately through its epoch window.
+//
+// Mirrors arriving after a trim with timestamps before the cut would
+// resurrect already-dropped events; callers must drop those upstream (the
+// collector's late-mirror filter). Returns the number of mirror records
+// released.
+func (a *Analyzer) TrimBefore(cutNs int64) int {
+	released := 0
+	for port, p := range a.clusters {
+		released += p.trimBefore(cutNs, a.gapNs)
+		if len(p.recs) == 0 && len(p.sealed) == 0 && !p.openValid {
+			delete(a.clusters, port)
+		}
+	}
+	a.mirrorCount -= released
+	return released
+}
+
+// trimBefore drops this port's records and events before cutNs. Unsorted
+// state is rebuilt first so the retained suffix stays a valid incremental
+// fold.
+func (p *portClusterer) trimBefore(cutNs int64, gapNs int64) int {
+	if p.unsorted {
+		p.rebuild(gapNs)
+	}
+	// An open event that ended before the cut can never be extended again
+	// (in-order input); seal it so it is counted, then let the sealed-event
+	// trim drop it.
+	if p.openValid && p.open.EndNs < cutNs {
+		p.seal()
+	}
+	keep := 0
+	for keep < len(p.sealed) && p.sealed[keep].EndNs < cutNs {
+		keep++
+	}
+	if keep > 0 {
+		n := copy(p.sealed, p.sealed[keep:])
+		for i := n; i < len(p.sealed); i++ {
+			p.sealed[i] = Event{} // release Flows slices
+		}
+		p.sealed = p.sealed[:n]
+	}
+	// Records are only safe to drop up to the start of the earliest retained
+	// event: a later rebuild (out-of-order input, gap change) re-folds from
+	// recs, and retained events must still find their full record spans.
+	// Events on one port never overlap, so this keeps exactly the records of
+	// retained events and releases those of dropped ones.
+	recCut := cutNs
+	if len(p.sealed) > 0 && p.sealed[0].StartNs < recCut {
+		recCut = p.sealed[0].StartNs
+	}
+	if p.openValid && p.open.StartNs < recCut {
+		recCut = p.open.StartNs
+	}
+	drop := 0
+	for drop < len(p.recs) && p.recs[drop].TimestampNs < recCut {
+		drop++
+	}
+	if drop > 0 {
+		n := copy(p.recs, p.recs[drop:])
+		p.recs = p.recs[:n]
+	}
+	return drop
+}

@@ -1,0 +1,112 @@
+package analyzer
+
+import (
+	"reflect"
+	"testing"
+
+	"umon/internal/flowkey"
+	"umon/internal/netsim"
+	"umon/internal/uevent"
+)
+
+func trimMirror(sw, port int16, ns int64, f flowkey.Key) uevent.MirrorRecord {
+	return uevent.MirrorRecord{
+		Port:        netsim.PortID{Switch: sw, Port: port},
+		TimestampNs: ns,
+		OrigBytes:   1000,
+		WireBytes:   64,
+		Flow:        f,
+	}
+}
+
+func TestTrimBeforeDropsOldEvents(t *testing.T) {
+	a := New()
+	f := key(1)
+	// Two events on one port: [1000..2000] and [200000..201000].
+	for _, ns := range []int64{1000, 1500, 2000, 200000, 201000} {
+		a.AddMirror(trimMirror(0, 0, ns, f))
+	}
+	if got := len(a.DetectEvents(0)); got != 2 {
+		t.Fatalf("events before trim = %d, want 2", got)
+	}
+
+	released := a.TrimBefore(100_000)
+	if released != 3 {
+		t.Errorf("released %d records, want 3", released)
+	}
+	if a.Mirrors() != 2 {
+		t.Errorf("Mirrors() = %d after trim, want 2", a.Mirrors())
+	}
+	evs := a.DetectEvents(0)
+	if len(evs) != 1 || evs[0].StartNs != 200000 {
+		t.Fatalf("events after trim = %+v, want the late event only", evs)
+	}
+	// The surviving open event still extends with new in-order mirrors.
+	a.AddMirror(trimMirror(0, 0, 201500, f))
+	evs = a.DetectEvents(0)
+	if len(evs) != 1 || evs[0].EndNs != 201500 || evs[0].Packets != 3 {
+		t.Fatalf("post-trim fold broken: %+v", evs)
+	}
+}
+
+func TestTrimBeforeSealsQuietOpenEvent(t *testing.T) {
+	a := New()
+	f := key(1)
+	a.AddMirror(trimMirror(0, 0, 1000, f))
+	a.AddMirror(trimMirror(0, 0, 1200, f))
+	// The open event [1000..1200] went quiet before the cut: trim must count
+	// and drop it, leaving the port empty (and garbage-collected).
+	if released := a.TrimBefore(500_000); released != 2 {
+		t.Errorf("released %d, want 2", released)
+	}
+	if got := len(a.DetectEvents(0)); got != 0 {
+		t.Errorf("events after full trim = %d, want 0", got)
+	}
+	if a.Mirrors() != 0 {
+		t.Errorf("Mirrors() = %d, want 0", a.Mirrors())
+	}
+}
+
+func TestTrimBeforeRebuildMatchesBatch(t *testing.T) {
+	// Out-of-order input, then trim: the trimmed analyzer must agree with a
+	// fresh analyzer fed only the surviving records.
+	f1 := key(1)
+	f2 := key(2)
+	times := []int64{5000, 1000, 300000, 2000, 301000, 299000}
+	a := New()
+	for i, ns := range times {
+		fl := f1
+		if i%2 == 1 {
+			fl = f2
+		}
+		a.AddMirror(trimMirror(1, 2, ns, fl))
+	}
+	a.TrimBefore(100_000)
+
+	b := New()
+	for i, ns := range times {
+		if ns < 100_000 {
+			continue
+		}
+		fl := f1
+		if i%2 == 1 {
+			fl = f2
+		}
+		b.AddMirror(trimMirror(1, 2, ns, fl))
+	}
+	if got, want := a.DetectEvents(0), b.DetectEvents(0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("trimmed events %+v != fresh events %+v", got, want)
+	}
+}
+
+func TestTrimBeforeNoopOnFutureOnlyState(t *testing.T) {
+	a := New()
+	f := key(1)
+	a.AddMirror(trimMirror(0, 0, 1_000_000, f))
+	if released := a.TrimBefore(1000); released != 0 {
+		t.Errorf("released %d from future-only state, want 0", released)
+	}
+	if len(a.DetectEvents(0)) != 1 {
+		t.Error("future event lost by no-op trim")
+	}
+}

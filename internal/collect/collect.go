@@ -1,0 +1,392 @@
+// Package collect implements the long-lived collector of the streaming
+// deployment: it continuously ingests the epoch-rotated report streams
+// hosts ship and the mirrored µEvent packets switches emit, holds a
+// bounded sliding window of queryable epochs, and detects congestion
+// events online — emitting each event as soon as the mirror watermark
+// proves it can no longer grow, with a measured detection lag.
+//
+// The collector is the daemon counterpart of the batch analyzer: the
+// analyzer ingests everything then answers queries; the collector admits
+// and evicts under a memory budget and keeps answering while ingest runs.
+// A Collector is single-goroutine: one owner calls the ingest and query
+// methods (the daemon's event loop); concurrent use needs external
+// serialization.
+package collect
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"umon/internal/analyzer"
+	"umon/internal/flowkey"
+	"umon/internal/mbuf"
+	"umon/internal/measure"
+	"umon/internal/packet"
+	"umon/internal/parallel"
+	"umon/internal/pcapio"
+	"umon/internal/report"
+	"umon/internal/uevent"
+)
+
+// pollEvery bounds how many mirrors fold in between online detection
+// passes: small enough that detection lag stays near the clustering gap,
+// large enough that DetectEvents' snapshot cost amortizes.
+const pollEvery = 256
+
+// Config parameterizes a Collector. The zero value is usable: an
+// unbounded window, the default clustering gap, no decode budget, no
+// telemetry, no online event callback.
+type Config struct {
+	// WindowEpochs bounds how many distinct epochs stay resident; admitting
+	// a newer epoch past the bound evicts the oldest. 0 means unbounded.
+	WindowEpochs int
+	// EpochNs is the measurement period hosts seal at (paper: 20 ms). Only
+	// used to convert epochs to times in summaries; ingest trusts the epoch
+	// numbers on the frames.
+	EpochNs int64
+	// GapNs is the event clustering gap (default 50 µs).
+	GapNs int64
+	// DecodeBudget caps decoded curves per resident Queryable (0 =
+	// unlimited); composes with window eviction to bound total memory.
+	DecodeBudget int
+	// OnEvent, when set, receives each congestion event as it closes.
+	OnEvent func(analyzer.Event)
+	// Stats is optional collector telemetry.
+	Stats *Stats
+}
+
+// epochReports is one epoch's resident reports, keyed by host.
+type epochReports map[int]*report.Queryable
+
+// Collector is the long-lived analysis daemon state.
+type Collector struct {
+	cfg   Config
+	an    *analyzer.Analyzer
+	stats Stats
+
+	window map[uint64]epochReports
+	epochs []uint64 // admitted epochs, ascending
+	// floor rejects reports for epochs the window already slid past.
+	floor    uint64
+	resident int
+
+	// watermark is the max mirror timestamp ingested; trimNs is the horizon
+	// below which mirrors are late (their events already emitted).
+	watermark int64
+	draining  bool
+	trimNs    int64
+	sincePoll int
+	events    []analyzer.Event
+}
+
+// New builds a collector.
+func New(cfg Config) *Collector {
+	if cfg.EpochNs <= 0 {
+		cfg.EpochNs = 20_000_000
+	}
+	if cfg.GapNs <= 0 {
+		cfg.GapNs = 50_000
+	}
+	c := &Collector{
+		cfg:       cfg,
+		an:        analyzer.New(),
+		window:    make(map[uint64]epochReports),
+		watermark: math.MinInt64,
+	}
+	if cfg.Stats != nil {
+		c.stats = *cfg.Stats
+	}
+	return c
+}
+
+// Add admits one decoded host report into the (host, epoch) window,
+// evicting the oldest epoch if the window is over budget. Reports for
+// already-evicted epochs are dropped and counted.
+func (c *Collector) Add(epoch uint64, rep *report.HostReport) {
+	if epoch < c.floor {
+		c.stats.LateReports.Inc()
+		return
+	}
+	q := report.NewQueryable(rep)
+	q.SetStats(c.stats.Decode)
+	if c.cfg.DecodeBudget > 0 {
+		q.SetDecodeBudget(c.cfg.DecodeBudget)
+	}
+	er := c.window[epoch]
+	if er == nil {
+		er = make(epochReports)
+		c.window[epoch] = er
+		i := sort.Search(len(c.epochs), func(i int) bool { return c.epochs[i] >= epoch })
+		c.epochs = append(c.epochs, 0)
+		copy(c.epochs[i+1:], c.epochs[i:])
+		c.epochs[i] = epoch
+		c.stats.EpochsIngested.Inc()
+	}
+	if er[rep.Host] == nil {
+		c.resident++
+	}
+	er[rep.Host] = q
+	c.stats.ReportsIngested.Inc()
+	for c.cfg.WindowEpochs > 0 && len(c.epochs) > c.cfg.WindowEpochs {
+		c.evictOldest()
+	}
+	c.stats.WindowResident.Set(int64(c.resident))
+}
+
+// AddEncoded decodes one framed report payload and admits it.
+func (c *Collector) AddEncoded(epoch uint64, payload []byte) error {
+	rep, err := report.Decode(bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	c.Add(epoch, rep)
+	return nil
+}
+
+func (c *Collector) evictOldest() {
+	oldest := c.epochs[0]
+	c.epochs = c.epochs[1:]
+	n := len(c.window[oldest])
+	delete(c.window, oldest)
+	c.resident -= n
+	c.stats.Evictions.Add(int64(n))
+	c.floor = oldest + 1
+}
+
+// IngestStream drains one epoch-rotated report stream into the window,
+// returning the number of reports admitted and of undecodable frames
+// skipped. It reads to EOF — for a growing file, wrap the reader in a
+// tailer and call again.
+func (c *Collector) IngestStream(r io.Reader) (reports, bad int, err error) {
+	sr, err := report.NewStreamReader(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	var fr report.Frame
+	for {
+		err := sr.Next(&fr)
+		if err == io.EOF {
+			return reports, bad + sr.CRCErrors(), nil
+		}
+		if err != nil {
+			return reports, bad + sr.CRCErrors(), err
+		}
+		if fr.Type != report.FrameReport {
+			continue
+		}
+		if err := c.AddEncoded(fr.Epoch, fr.Payload); err != nil {
+			bad++
+			continue
+		}
+		reports++
+	}
+}
+
+// AddMirrorPacket parses one on-the-wire mirrored packet and folds it into
+// the online event clusters, advancing the mirror watermark. Mirrors below
+// the trim horizon — their events were already emitted and released — are
+// dropped and counted, keeping daemon memory bounded under replayed or
+// disordered feeds.
+func (c *Collector) AddMirrorPacket(b []byte) error {
+	var m packet.Mirrored
+	if err := packet.DecodeMirrorInto(b, &m); err != nil {
+		return err
+	}
+	if !m.CE {
+		return fmt.Errorf("collect: mirrored packet without CE mark (flow %s)", m.Flow)
+	}
+	c.AddMirror(uevent.MirrorRecord{
+		Port:        uevent.PortForVLAN(m.VLANID),
+		TimestampNs: m.TimestampNs,
+		PSN:         m.PSN,
+		OrigBytes:   int32(m.OrigLen),
+		WireBytes:   int32(m.OrigLen),
+		Flow:        m.Flow,
+	})
+	return nil
+}
+
+// AddMirror folds one decoded mirror record.
+func (c *Collector) AddMirror(m uevent.MirrorRecord) {
+	if m.TimestampNs < c.trimNs {
+		c.stats.LateMirrors.Inc()
+		return
+	}
+	c.an.AddMirror(m)
+	c.stats.MirrorsIngested.Inc()
+	if m.TimestampNs > c.watermark {
+		c.watermark = m.TimestampNs
+	}
+	if c.sincePoll++; c.sincePoll >= pollEvery {
+		c.Poll()
+	}
+}
+
+// IngestMirrorPcap streams a pcap of mirrored packets through pooled batch
+// reads (the zero-copy path: decodes are in-place views of pooled
+// buffers), folding every packet. Returns packets folded and packets that
+// failed to parse.
+func (c *Collector) IngestMirrorPcap(r io.Reader, pool *mbuf.Pool) (ingested, bad int, err error) {
+	rd, err := pcapio.NewReaderOpts(r, pcapio.ReaderOpts{Pool: pool})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer rd.Close()
+	var batch pcapio.Batch
+	for {
+		n, rerr := rd.ReadBatch(&batch, pcapio.DefaultBatchSize)
+		for _, p := range batch.Pkts[:n] {
+			if err := c.AddMirrorPacket(p.Data); err != nil {
+				bad++
+				continue
+			}
+			ingested++
+		}
+		if rerr == io.EOF {
+			batch.Release()
+			return ingested, bad, nil
+		}
+		if rerr != nil {
+			batch.Release()
+			return ingested, bad, rerr
+		}
+	}
+}
+
+// Poll runs one online detection pass: every event the watermark proves
+// closed (no mirror within the clustering gap can still extend it) is
+// emitted — appended to Events and delivered to OnEvent — and its records
+// are released from the analyzer. Ingest calls this automatically every
+// few hundred mirrors; call it explicitly after a quiet ingest burst.
+func (c *Collector) Poll() int {
+	c.sincePoll = 0
+	if c.watermark == math.MinInt64 {
+		return 0
+	}
+	closedBelow := c.watermark - c.cfg.GapNs
+	emitted := 0
+	for _, ev := range c.an.DetectEvents(c.cfg.GapNs) {
+		if ev.EndNs > closedBelow {
+			continue
+		}
+		c.events = append(c.events, ev)
+		emitted++
+		c.stats.EventsEmitted.Inc()
+		if !c.draining {
+			// Lag is only meaningful for genuinely online emissions; the
+			// Drain sentinel watermark would record nonsense.
+			c.stats.DetectLagNs.Observe(c.watermark - ev.EndNs)
+		}
+		if c.cfg.OnEvent != nil {
+			c.cfg.OnEvent(ev)
+		}
+	}
+	if emitted > 0 {
+		// Everything emitted satisfies EndNs <= closedBelow < closedBelow+1,
+		// so this trim releases exactly the emitted events' state.
+		c.trimNs = closedBelow + 1
+		c.an.TrimBefore(c.trimNs)
+	}
+	return emitted
+}
+
+// Drain closes every still-open event (end of input: nothing can extend
+// them) and returns the full emitted event list, sorted like the batch
+// analyzer's DetectEvents. After ingesting the same ordered feeds, Drain's
+// result is identical to the batch pipeline's.
+func (c *Collector) Drain() []analyzer.Event {
+	c.watermark = math.MaxInt64 - c.cfg.GapNs
+	c.draining = true
+	c.Poll()
+	return c.Events()
+}
+
+// Events returns the events emitted so far, sorted by (start, port).
+func (c *Collector) Events() []analyzer.Event {
+	evs := make([]analyzer.Event, len(c.events))
+	copy(evs, c.events)
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].StartNs != evs[j].StartNs {
+			return evs[i].StartNs < evs[j].StartNs
+		}
+		a, b := evs[i].Port, evs[j].Port
+		if a.Switch != b.Switch {
+			return a.Switch < b.Switch
+		}
+		return a.Port < b.Port
+	})
+	return evs
+}
+
+// Watermark returns the max mirror timestamp ingested (MinInt64 before any
+// mirror).
+func (c *Collector) Watermark() int64 { return c.watermark }
+
+// Window describes the resident window: admitted epochs (ascending) and
+// total resident Queryables.
+func (c *Collector) Window() (epochs []uint64, resident int) {
+	return append([]uint64(nil), c.epochs...), c.resident
+}
+
+// ResidentCurves totals decoded curves across the window — the decode-
+// budget-governed share of memory.
+func (c *Collector) ResidentCurves() int {
+	n := 0
+	for _, er := range c.window {
+		for _, q := range er {
+			n += q.ResidentCurves()
+		}
+	}
+	return n
+}
+
+// QueryFlow estimates flow f's per-window byte counts over [from, to)
+// windows by max-merging every resident report that plausibly saw the flow
+// — the analyzer's query semantics over the sliding window.
+func (c *Collector) QueryFlow(f flowkey.Key, from, to int64) []float64 {
+	if to < from {
+		to = from
+	}
+	out := make([]float64, to-from)
+	for _, e := range c.epochs {
+		for _, q := range c.window[e] {
+			if !q.MightSee(f) {
+				continue
+			}
+			for i, v := range q.QueryRange(f, from, to) {
+				if v > out[i] {
+					out[i] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Replay queries every flow of an emitted event over the event span plus
+// margin, fanning out over the worker pool — the daemon's counterpart of
+// the batch analyzer's Replay.
+func (c *Collector) Replay(ev analyzer.Event, marginNs int64) *analyzer.ReplayView {
+	from := measure.WindowOf(ev.StartNs-marginNs) - 1
+	if from < 0 {
+		from = 0
+	}
+	to := measure.WindowOf(ev.EndNs+marginNs) + 2
+	view := &analyzer.ReplayView{
+		Event:       ev,
+		WindowStart: from,
+		Windows:     int(to - from),
+		Curves:      make(map[flowkey.Key][]float64, len(ev.Flows)),
+	}
+	curves := make([][]float64, len(ev.Flows))
+	parallel.ForEach(len(ev.Flows), func(i int) {
+		curves[i] = c.QueryFlow(ev.Flows[i], from, to)
+	})
+	for i, f := range ev.Flows {
+		view.Curves[f] = curves[i]
+	}
+	return view
+}

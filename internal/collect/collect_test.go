@@ -1,0 +1,237 @@
+package collect
+
+import (
+	"bytes"
+	"testing"
+
+	"umon/internal/analyzer"
+	"umon/internal/flowkey"
+	"umon/internal/netsim"
+	"umon/internal/report"
+	"umon/internal/telemetry"
+	"umon/internal/uevent"
+	"umon/internal/wavesketch"
+)
+
+func key(i int) flowkey.Key {
+	return flowkey.Key{
+		SrcIP: 0x0a000101 + uint32(i), DstIP: 0x0a000f01,
+		SrcPort: uint16(40000 + i), DstPort: flowkey.RoCEPort, Proto: flowkey.ProtoUDP,
+	}
+}
+
+// mkReport builds a tiny report for host carrying flow f at window w.
+func mkReport(host int, f flowkey.Key, w int64, v int64) *report.HostReport {
+	s, err := wavesketch.NewBasic(wavesketch.Default(16))
+	if err != nil {
+		panic(err)
+	}
+	s.Update(f, w, v)
+	s.Seal()
+	return report.FromBasic(host, 0, s)
+}
+
+func mirrorAt(sw, port int16, ns int64, f flowkey.Key) uevent.MirrorRecord {
+	return uevent.MirrorRecord{
+		Port:        netsim.PortID{Switch: sw, Port: port},
+		TimestampNs: ns,
+		OrigBytes:   1058,
+		WireBytes:   64,
+		Flow:        f,
+	}
+}
+
+func TestWindowAdmitEvict(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New(Config{WindowEpochs: 3, Stats: NewStats(reg)})
+	for e := uint64(0); e < 6; e++ {
+		for h := 0; h < 2; h++ {
+			c.Add(e, mkReport(h, key(h), 10, 100))
+		}
+	}
+	epochs, resident := c.Window()
+	if len(epochs) != 3 || epochs[0] != 3 || epochs[2] != 5 {
+		t.Fatalf("window epochs = %v, want [3 4 5]", epochs)
+	}
+	if resident != 6 {
+		t.Errorf("resident = %d, want 6", resident)
+	}
+	if got := reg.Value("umon_collect_evictions_total"); got != 6 {
+		t.Errorf("evictions = %d, want 6", got)
+	}
+	if got := reg.Value("umon_collect_window_resident"); got != 6 {
+		t.Errorf("resident gauge = %d, want 6", got)
+	}
+	// A report for an evicted epoch is late: rejected, counted, window
+	// unchanged.
+	c.Add(1, mkReport(0, key(0), 10, 100))
+	if got := reg.Value("umon_collect_late_reports_total"); got != 1 {
+		t.Errorf("late reports = %d, want 1", got)
+	}
+	if _, resident := c.Window(); resident != 6 {
+		t.Errorf("late report changed residency to %d", resident)
+	}
+}
+
+func TestQueryFlowMergesWindow(t *testing.T) {
+	c := New(Config{WindowEpochs: 4})
+	c.Add(0, mkReport(0, key(1), 10, 100))
+	c.Add(1, mkReport(1, key(2), 12, 200))
+	got := c.QueryFlow(key(1), 10, 13)
+	if got[0] != 100 || got[1] != 0 {
+		t.Errorf("flow 1 = %v", got)
+	}
+	got = c.QueryFlow(key(2), 10, 13)
+	if got[2] != 200 {
+		t.Errorf("flow 2 = %v", got)
+	}
+	if got := c.QueryFlow(key(9), 5, 3); len(got) != 0 {
+		t.Errorf("inverted range should be empty, got %v", got)
+	}
+}
+
+func TestOnlineDetectionEmitsClosedEvents(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st := NewStats(reg)
+	var online []analyzer.Event
+	c := New(Config{
+		GapNs:   50_000,
+		OnEvent: func(ev analyzer.Event) { online = append(online, ev) },
+		Stats:   st,
+	})
+	f := key(1)
+	// Event 1: [1000..2000]. A mirror at 200000 proves it closed.
+	c.AddMirror(mirrorAt(0, 0, 1000, f))
+	c.AddMirror(mirrorAt(0, 0, 2000, f))
+	if c.Poll() != 0 {
+		t.Fatal("event emitted while watermark still within gap")
+	}
+	c.AddMirror(mirrorAt(0, 0, 200_000, f))
+	if got := c.Poll(); got != 1 {
+		t.Fatalf("Poll emitted %d, want 1", got)
+	}
+	if len(online) != 1 || online[0].StartNs != 1000 || online[0].EndNs != 2000 {
+		t.Fatalf("online event = %+v", online)
+	}
+	if reg.Value("umon_collect_events_emitted_total") != 1 {
+		t.Error("emitted counter not bumped")
+	}
+	if st.DetectLagNs.Count() != 1 || st.DetectLagNs.Sum() != 198_000 {
+		t.Errorf("detect lag count/sum = %d/%d, want 1/198000",
+			st.DetectLagNs.Count(), st.DetectLagNs.Sum())
+	}
+	// A late mirror below the trim horizon is dropped, not resurrected.
+	c.AddMirror(mirrorAt(0, 0, 1500, f))
+	if reg.Value("umon_collect_late_mirrors_total") != 1 {
+		t.Error("late mirror not counted")
+	}
+	// Drain closes the open [200000..200000] event.
+	evs := c.Drain()
+	if len(evs) != 2 {
+		t.Fatalf("drained %d events, want 2", len(evs))
+	}
+	if evs[1].StartNs != 200_000 || evs[1].Packets != 1 {
+		t.Errorf("drained tail event = %+v", evs[1])
+	}
+}
+
+func TestStreamingMatchesBatchDetection(t *testing.T) {
+	// The same in-order mirror feed through the collector (with automatic
+	// polling and trimming along the way) and through the batch analyzer
+	// must yield identical event lists.
+	var feed []uevent.MirrorRecord
+	ns := int64(0)
+	for burst := 0; burst < 40; burst++ {
+		ns += 300_000 // quiet gap between bursts
+		for p := 0; p < 10+burst%7; p++ {
+			ns += 5_000
+			feed = append(feed, mirrorAt(int16(burst%3), int16(p%2), ns, key(p%4)))
+		}
+	}
+	c := New(Config{GapNs: 50_000})
+	batch := analyzer.New()
+	for _, m := range feed {
+		c.AddMirror(m)
+		batch.AddMirror(m)
+	}
+	got, want := c.Drain(), batch.DetectEvents(50_000)
+	if len(got) != len(want) {
+		t.Fatalf("streaming %d events, batch %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].StartNs != want[i].StartNs || got[i].EndNs != want[i].EndNs ||
+			got[i].Packets != want[i].Packets || got[i].Port != want[i].Port {
+			t.Errorf("event %d: streaming %+v != batch %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIngestStreamAdmitsFrames(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := report.NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(0); e < 3; e++ {
+		if err := sw.WriteReport(e, mkReport(int(e), key(int(e)), 10, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{WindowEpochs: 8})
+	n, bad, err := c.IngestStream(bytes.NewReader(buf.Bytes()))
+	if err != nil || bad != 0 {
+		t.Fatalf("ingest: %v (bad %d)", err, bad)
+	}
+	if n != 3 {
+		t.Fatalf("ingested %d reports, want 3", n)
+	}
+	epochs, resident := c.Window()
+	if len(epochs) != 3 || resident != 3 {
+		t.Fatalf("window = %v / %d", epochs, resident)
+	}
+}
+
+func TestAddMirrorPacketWire(t *testing.T) {
+	c := New(Config{})
+	rec := mirrorAt(1, 2, 5_000, key(1))
+	if err := c.AddMirrorPacket(uevent.AppendMirrorPacket(nil, rec)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Watermark() != 5_000 {
+		t.Errorf("watermark = %d, want 5000", c.Watermark())
+	}
+	if err := c.AddMirrorPacket([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage packet must fail to parse")
+	}
+	evs := c.Drain()
+	if len(evs) != 1 || evs[0].Port != (netsim.PortID{Switch: 1, Port: 2}) {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestReplayOverWindow(t *testing.T) {
+	c := New(Config{})
+	f := key(1)
+	// Flow active around window 12 (≈ ns 98304..106496).
+	c.Add(0, mkReport(0, f, 12, 4096))
+	c.AddMirror(mirrorAt(0, 0, 100_000, f))
+	evs := c.Drain()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1", len(evs))
+	}
+	view := c.Replay(evs[0], 20_000)
+	curve := view.Curves[f]
+	if curve == nil {
+		t.Fatal("replay lost the event flow")
+	}
+	sum := 0.0
+	for _, v := range curve {
+		sum += v
+	}
+	if sum != 4096 {
+		t.Errorf("replayed curve mass = %v, want 4096", sum)
+	}
+}

@@ -1,0 +1,57 @@
+package collect
+
+import (
+	"umon/internal/report"
+	"umon/internal/telemetry"
+)
+
+// Stats is the collector daemon's telemetry plane. Every handle no-ops
+// when nil; the zero value is the disabled configuration, so uninstrumented
+// collectors pay one nil check per event.
+type Stats struct {
+	// ReportsIngested counts decoded host reports admitted to the window.
+	ReportsIngested *telemetry.Counter
+	// EpochsIngested counts distinct epochs admitted to the window.
+	EpochsIngested *telemetry.Counter
+	// LateReports counts reports rejected because their epoch had already
+	// been evicted from the window.
+	LateReports *telemetry.Counter
+	// Evictions counts Queryables dropped as the epoch window slid.
+	Evictions *telemetry.Counter
+	// WindowResident gauges the Queryables currently held in the window.
+	WindowResident *telemetry.Gauge
+	// MirrorsIngested counts mirror records folded into event clusters.
+	MirrorsIngested *telemetry.Counter
+	// LateMirrors counts mirrors dropped below the trim horizon (their
+	// events were already emitted and released).
+	LateMirrors *telemetry.Counter
+	// EventsEmitted counts congestion events closed and delivered online.
+	EventsEmitted *telemetry.Counter
+	// DetectLagNs observes, per emitted event, how far the mirror watermark
+	// had advanced past the event's end when it closed — the online
+	// detection lag.
+	DetectLagNs *telemetry.Histogram
+	// Decode is attached to every admitted Queryable (curve decode
+	// hits/misses/evictions under the decode budget).
+	Decode *report.QueryStats
+}
+
+// NewStats registers the collector metric set on reg (nil reg yields nil,
+// the disabled configuration).
+func NewStats(reg *telemetry.Registry) *Stats {
+	if reg == nil {
+		return nil
+	}
+	return &Stats{
+		ReportsIngested: reg.Counter("umon_collect_reports_ingested_total", "host reports admitted to the epoch window"),
+		EpochsIngested:  reg.Counter("umon_collect_epochs_ingested_total", "distinct epochs admitted to the window"),
+		LateReports:     reg.Counter("umon_collect_late_reports_total", "reports rejected for already-evicted epochs"),
+		Evictions:       reg.Counter("umon_collect_evictions_total", "Queryables evicted as the epoch window slid"),
+		WindowResident:  reg.Gauge("umon_collect_window_resident", "Queryables currently resident in the window"),
+		MirrorsIngested: reg.Counter("umon_collect_mirrors_ingested_total", "mirror records folded into event clusters"),
+		LateMirrors:     reg.Counter("umon_collect_late_mirrors_total", "mirrors dropped below the trim horizon"),
+		EventsEmitted:   reg.Counter("umon_collect_events_emitted_total", "congestion events closed and emitted online"),
+		DetectLagNs:     reg.Histogram("umon_collect_detect_lag_ns", "watermark lead past event end at emission (ns)"),
+		Decode:          report.NewQueryStats(reg),
+	}
+}

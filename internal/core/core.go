@@ -46,6 +46,7 @@ type HostMonitor struct {
 	cfg    HostMonitorConfig
 	sketch *wavesketch.Full
 	emit   func(host int, encoded []byte)
+	sink   ReportSink // optional: ships SealedReports instead of emit
 
 	periodStart int64 // ns, start of the open period
 	started     bool
@@ -67,6 +68,11 @@ func NewHostMonitor(host int, cfg HostMonitorConfig, emit func(host int, encoded
 	}
 	return &HostMonitor{host: host, cfg: cfg, sketch: sk, emit: emit}, nil
 }
+
+// SetSink routes sealed reports through a ReportSink (with the period's
+// epoch attached) instead of the raw emit callback. Call before the first
+// packet.
+func (m *HostMonitor) SetSink(s ReportSink) { m.sink = s }
 
 // OnPacket records one egress packet. Packets must arrive in time order;
 // crossing a period boundary seals and uploads the open period first.
@@ -94,7 +100,17 @@ func (m *HostMonitor) flushPeriod() error {
 	}
 	m.reportBytes += n
 	m.reports++
-	if m.emit != nil {
+	if m.sink != nil {
+		err := m.sink.Ship(SealedReport{
+			Host:          m.host,
+			Epoch:         uint64(m.periodStart / m.cfg.PeriodNs),
+			PeriodStartNs: m.periodStart,
+			Encoded:       buf.Bytes(),
+		})
+		if err != nil {
+			return fmt.Errorf("core: shipping host %d report: %w", m.host, err)
+		}
+	} else if m.emit != nil {
 		m.emit(m.host, buf.Bytes())
 	}
 	m.sketch.Reset()

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"io"
+	"sync"
+
+	"umon/internal/report"
+)
+
+// SealedReport is one epoch's encoded upload from one host: the unit the
+// streaming deployment ships from hosts to the collector.
+type SealedReport struct {
+	Host int
+	// Epoch is the measurement period index: PeriodStartNs / PeriodNs.
+	Epoch         uint64
+	PeriodStartNs int64
+	// Encoded is the v0 report payload. It is valid only for the duration
+	// of Ship — sinks that retain it must copy (the sealer reuses its
+	// encode buffer for the next epoch).
+	Encoded []byte
+}
+
+// ReportSink receives sealed reports from host monitors. Implementations
+// decide the transport: a framed stream file, an in-process channel, a
+// network connection. Ship may be called concurrently by different hosts;
+// implementations serialize internally.
+type ReportSink interface {
+	Ship(r SealedReport) error
+	// Close finishes the sink (flushes framing, closes channels). It does
+	// not close any underlying file or connection the caller owns.
+	Close() error
+}
+
+// StreamSink ships reports as framed records of the epoch-rotated stream
+// format onto one writer — a file, a pipe or a net.Conn. Safe for
+// concurrent Ship across hosts; Close appends the epoch index and footer.
+type StreamSink struct {
+	mu sync.Mutex
+	sw *report.StreamWriter
+}
+
+// NewStreamSink writes the stream header onto w.
+func NewStreamSink(w io.Writer) (*StreamSink, error) {
+	sw, err := report.NewStreamWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamSink{sw: sw}, nil
+}
+
+// Ship frames one sealed report.
+func (s *StreamSink) Ship(r SealedReport) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sw.WriteEncoded(r.Epoch, r.Host, r.Encoded)
+}
+
+// Frames reports how many reports have been framed.
+func (s *StreamSink) Frames() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sw.Frames()
+}
+
+// Close appends the epoch index frame and footer.
+func (s *StreamSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sw.Close()
+}
+
+// ChanSink hands sealed reports to an in-process consumer (typically a
+// collector goroutine) over a buffered channel. Ship copies the encoded
+// bytes, so the monitor's encode buffer is never retained; a full channel
+// blocks the shipper — bounded back-pressure, not loss.
+type ChanSink struct {
+	ch        chan SealedReport
+	closeOnce sync.Once
+}
+
+// NewChanSink builds a sink with the given channel capacity.
+func NewChanSink(buf int) *ChanSink {
+	return &ChanSink{ch: make(chan SealedReport, buf)}
+}
+
+// C is the consumer side. It is closed by Close.
+func (c *ChanSink) C() <-chan SealedReport { return c.ch }
+
+// Ship copies and enqueues one sealed report.
+func (c *ChanSink) Ship(r SealedReport) error {
+	r.Encoded = append([]byte(nil), r.Encoded...)
+	c.ch <- r
+	return nil
+}
+
+// Close closes the consumer channel. Safe to call more than once.
+func (c *ChanSink) Close() error {
+	c.closeOnce.Do(func() { close(c.ch) })
+	return nil
+}
+
+// FuncSink adapts a function to the ReportSink interface. The function
+// must not retain r.Encoded past the call.
+type FuncSink func(SealedReport) error
+
+// Ship implements ReportSink.
+func (f FuncSink) Ship(r SealedReport) error { return f(r) }
+
+// Close implements ReportSink.
+func (FuncSink) Close() error { return nil }

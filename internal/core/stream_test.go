@@ -1,0 +1,275 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"umon/internal/report"
+	"umon/internal/telemetry"
+)
+
+func streamCfg(periodNs int64, async bool) StreamMonitorConfig {
+	return StreamMonitorConfig{
+		HostMonitorConfig: HostMonitorConfig{
+			Sketch:   DefaultHostMonitor().Sketch,
+			PeriodNs: periodNs,
+		},
+		Async: async,
+	}
+}
+
+// feedPackets drives a deterministic three-epoch packet stream into any
+// OnPacket-shaped monitor.
+func feedPackets(t *testing.T, on func(ns int64) error) {
+	t.Helper()
+	for ns := int64(0); ns < 2_500_000; ns += 10_000 {
+		if err := on(ns); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStreamMonitorMatchesBatchMonitor proves the streaming monitor's
+// sealed epochs carry exactly the bytes the classic HostMonitor uploads
+// for the same packet stream, in both sync and async mode — the batch and
+// streaming planes measure identically.
+func TestStreamMonitorMatchesBatchMonitor(t *testing.T) {
+	cfg := DefaultHostMonitor()
+	cfg.PeriodNs = 1_000_000
+	var want [][]byte
+	batch, err := NewHostMonitor(3, cfg, func(_ int, b []byte) {
+		want = append(want, append([]byte(nil), b...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := testKey(1)
+	feedPackets(t, func(ns int64) error { return batch.OnPacket(f, ns, 1058) })
+	if err := batch.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, async := range []bool{false, true} {
+		sink := NewChanSink(16)
+		m, err := NewStreamHostMonitor(3, streamCfg(1_000_000, async), sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedPackets(t, func(ns int64) error { return m.OnPacket(f, ns, 1058) })
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sink.Close()
+		var got []SealedReport
+		for sr := range sink.C() {
+			got = append(got, sr)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("async=%v: %d sealed epochs, want %d", async, len(got), len(want))
+		}
+		for i, sr := range got {
+			if sr.Host != 3 || sr.Epoch != uint64(i) {
+				t.Errorf("async=%v epoch %d: host=%d epoch=%d", async, i, sr.Host, sr.Epoch)
+			}
+			if !bytes.Equal(sr.Encoded, want[i]) {
+				t.Errorf("async=%v epoch %d: encoded bytes differ from batch monitor", async, i)
+			}
+		}
+		b, n := m.Stats()
+		if n != len(want) || b <= 0 {
+			t.Errorf("async=%v stats = %d bytes / %d reports", async, b, n)
+		}
+	}
+}
+
+// TestStreamMonitorThroughStreamSink runs the full host-side pipeline —
+// monitor → StreamSink framing → stream decode — and checks the decoded
+// (host, epoch) sequence.
+func TestStreamMonitorThroughStreamSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink, err := NewStreamSink(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewStreamHostMonitor(7, streamCfg(1_000_000, true), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := testKey(2)
+	feedPackets(t, func(ns int64) error { return m.OnPacket(f, ns, 900) })
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Frames() != 3 {
+		t.Errorf("framed %d reports, want 3", sink.Frames())
+	}
+	reports, bad, err := report.ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil || bad != 0 {
+		t.Fatalf("decode: %v (bad %d)", err, bad)
+	}
+	for i, er := range reports {
+		if er.Epoch != uint64(i) || er.Report.Host != 7 {
+			t.Errorf("frame %d: epoch %d host %d", i, er.Epoch, er.Report.Host)
+		}
+	}
+	// The finished file also supports indexed epoch access.
+	idx, err := report.ReadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 3 {
+		t.Errorf("index entries = %d, want 3", len(idx))
+	}
+}
+
+// TestStreamMonitorIdleGapSealsEveryEpoch mirrors the batch monitor's
+// idle-gap semantics: skipped epochs still seal (empty) reports, so the
+// collector's window advances even through silence.
+func TestStreamMonitorIdleGapSealsEveryEpoch(t *testing.T) {
+	sink := NewChanSink(16)
+	m, err := NewStreamHostMonitor(0, streamCfg(1_000_000, true), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := testKey(1)
+	if err := m.OnPacket(f, 100, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.OnPacket(f, 5_100_000, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+	var epochs []uint64
+	for sr := range sink.C() {
+		epochs = append(epochs, sr.Epoch)
+	}
+	if len(epochs) != 6 {
+		t.Fatalf("sealed %d epochs across idle gap, want 6 (0-5)", len(epochs))
+	}
+	for i, e := range epochs {
+		if e != uint64(i) {
+			t.Errorf("epoch %d sealed as %d", i, e)
+		}
+	}
+}
+
+// errSink fails every Ship.
+type errSink struct{ failed bool }
+
+func (s *errSink) Ship(SealedReport) error { s.failed = true; return errors.New("sink down") }
+func (s *errSink) Close() error            { return nil }
+
+func TestStreamMonitorSurfacesShipErrors(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := streamCfg(1_000_000, true)
+	cfg.Stats = NewHostStreamStats(reg)
+	sink := &errSink{}
+	m, err := NewStreamHostMonitor(0, cfg, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := testKey(1)
+	var sawErr bool
+	for ns := int64(0); ns < 2_500_000; ns += 10_000 {
+		if err := m.OnPacket(f, ns, 1000); err != nil {
+			sawErr = true // async failures may surface from OnPacket
+		}
+	}
+	if err := m.Close(); err == nil && !sawErr {
+		t.Error("ship failure must surface from OnPacket or Close")
+	}
+	if !sink.failed {
+		t.Error("sink never invoked")
+	}
+	if reg.Value("umon_host_ship_errors_total") == 0 {
+		t.Error("ship errors not counted")
+	}
+	if reg.Value("umon_host_epochs_sealed_total") == 0 {
+		t.Error("sealed epochs not counted")
+	}
+}
+
+func TestStreamMonitorValidation(t *testing.T) {
+	if _, err := NewStreamHostMonitor(0, StreamMonitorConfig{}, NewChanSink(1)); err == nil {
+		t.Error("PeriodNs=0 must be rejected")
+	}
+	if _, err := NewStreamHostMonitor(0, streamCfg(1, false), nil); err == nil {
+		t.Error("nil sink must be rejected")
+	}
+	m, _ := NewStreamHostMonitor(0, streamCfg(1_000_000, true), NewChanSink(1))
+	if err := m.Close(); err != nil {
+		t.Errorf("close before any packet: %v", err)
+	}
+}
+
+// TestStreamSinkConcurrentShip hammers one StreamSink from many host
+// goroutines (the deployment shape: one shared stream file) and checks
+// every frame survives intact. Run under -race.
+func TestStreamSinkConcurrentShip(t *testing.T) {
+	var buf bytes.Buffer
+	sink, err := NewStreamSink(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hosts, epochs = 8, 5
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			m, err := NewStreamHostMonitor(h, streamCfg(1_000_000, false), sink)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f := testKey(h)
+			for ns := int64(0); ns < epochs*1_000_000; ns += 25_000 {
+				if err := m.OnPacket(f, ns, 1000+h); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := m.Close(); err != nil {
+				t.Error(err)
+			}
+		}(h)
+	}
+	wg.Wait()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := report.NewStreamReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHost := make(map[int]int)
+	var fr report.Frame
+	for {
+		err := sr.Next(&fr)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fr.Report(); err != nil {
+			t.Fatal(err)
+		}
+		perHost[fr.Host]++
+	}
+	for h := 0; h < hosts; h++ {
+		// epochs-1 boundaries crossed + the final partial epoch at Close.
+		if perHost[h] != epochs {
+			t.Errorf("host %d shipped %d frames, want %d", h, perHost[h], epochs)
+		}
+	}
+}

@@ -86,6 +86,24 @@ func (q *Queryable) SetDecodeBudget(n int) {
 	q.decodeMu.Unlock()
 }
 
+// ResidentCurves reports how many reconstructed curves are currently
+// resident. With a decode budget set this is exact (the clock sweep's
+// count); unbounded Queryables count their slots directly.
+func (q *Queryable) ResidentCurves() int {
+	q.decodeMu.Lock()
+	defer q.decodeMu.Unlock()
+	if q.decodeBudget > 0 {
+		return q.decodeCount
+	}
+	n := 0
+	for _, c := range q.clockEntries {
+		if c.curve.Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
 // NewQueryable indexes a decoded report.
 func NewQueryable(r *HostReport) *Queryable {
 	q := &Queryable{

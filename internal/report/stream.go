@@ -1,0 +1,461 @@
+package report
+
+// Epoch-rotated report stream format. The one-shot Encode/Decode pair
+// above is the *payload* codec (frame payload version 0); this file wraps
+// it in a framed, CRC-guarded container that a long-lived deployment can
+// append to forever and a collector can consume either sequentially (from
+// a pipe, socket or growing file) or randomly (seeking through the
+// trailing epoch index of a finished file).
+//
+// Layout:
+//
+//	stream header  : magic u32 | version u32
+//	frame          : magic u32 | type u8 | payloadVersion u8 | reserved u16
+//	                 host u32 | epoch u64 | payloadLen u32
+//	                 payload[payloadLen] | crc32 u32
+//	...
+//	index frame    : one frame of type FrameIndex whose payload lists
+//	                 (epoch, host, offset, length) for every report frame
+//	footer         : magic u32 | reserved u32 | indexOffset u64
+//
+// All integers are little-endian. The CRC is IEEE crc32 over the frame
+// header and payload, so a flipped bit anywhere in a frame is detected.
+// Frames of an unknown type or payload version are length-skipped, which
+// is how future encodings ride alongside v0 without breaking old readers.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	streamMagic   = 0x754d5331 // "uMS1"
+	streamVersion = 1
+	frameMagic    = 0x75465230 // "uFR0"
+	footerMagic   = 0x754d5345 // "uMSE"
+
+	streamHeaderLen = 8
+	frameHeaderLen  = 24
+	footerLen       = 16
+
+	// maxFramePayload bounds a single frame so corrupted or hostile length
+	// fields cannot force huge allocations.
+	maxFramePayload = 1 << 28
+)
+
+// Frame types.
+const (
+	// FrameReport carries one encoded HostReport (payload version 0 is the
+	// classic Encode stream).
+	FrameReport = 1
+	// FrameIndex carries the epoch index a StreamWriter appends at Close.
+	FrameIndex = 2
+)
+
+// Typed stream errors. Readers can match with errors.Is to decide whether
+// to abort (ErrStreamCorrupt: framing lost) or skip and continue (ErrCRC:
+// the frame was length-delimited, so the stream position is already past
+// it).
+var (
+	ErrCRC           = errors.New("report: frame CRC mismatch")
+	ErrStreamCorrupt = errors.New("report: corrupt stream framing")
+)
+
+// IndexEntry locates one report frame inside a stream file.
+type IndexEntry struct {
+	Epoch  uint64
+	Host   int
+	Offset int64 // file offset of the frame's magic
+	Len    int   // whole frame length including header and CRC
+}
+
+// Frame is one decoded stream frame. Payload aliases the reader's
+// internal buffer and is only valid until the next call to Next.
+type Frame struct {
+	Type    uint8
+	Version uint8
+	Host    int
+	Epoch   uint64
+	Payload []byte
+}
+
+// Report decodes the frame's payload as a HostReport. Only payload
+// version 0 (the classic Encode stream) is decodable.
+func (f *Frame) Report() (*HostReport, error) {
+	if f.Type != FrameReport {
+		return nil, fmt.Errorf("report: frame type %d is not a report", f.Type)
+	}
+	if f.Version != 0 {
+		return nil, fmt.Errorf("report: unknown report payload version %d", f.Version)
+	}
+	return Decode(bytes.NewReader(f.Payload))
+}
+
+// --- writer ---
+
+// StreamWriter appends framed reports to w and accumulates the epoch
+// index, which Close writes as the final frame plus a fixed footer. Not
+// safe for concurrent use; wrap with a mutex to share across hosts.
+type StreamWriter struct {
+	w     io.Writer
+	off   int64
+	index []IndexEntry
+	frame []byte // whole-frame scratch: header + payload + crc
+	err   error
+}
+
+// NewStreamWriter writes the stream header and returns a writer.
+func NewStreamWriter(w io.Writer) (*StreamWriter, error) {
+	var hdr [streamHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], streamMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], streamVersion)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("report: writing stream header: %w", err)
+	}
+	return &StreamWriter{w: w, off: streamHeaderLen}, nil
+}
+
+// writeFrame assembles one frame in the scratch buffer and writes it with
+// a single Write call (one frame = one write keeps net-conn sinks sane).
+func (sw *StreamWriter) writeFrame(typ, payloadVersion uint8, host int, epoch uint64, payload []byte) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("report: frame payload %d exceeds limit", len(payload))
+	}
+	total := frameHeaderLen + len(payload) + 4
+	if cap(sw.frame) < total {
+		sw.frame = make([]byte, total)
+	}
+	b := sw.frame[:total]
+	binary.LittleEndian.PutUint32(b[0:], frameMagic)
+	b[4] = typ
+	b[5] = payloadVersion
+	b[6], b[7] = 0, 0
+	binary.LittleEndian.PutUint32(b[8:], uint32(host))
+	binary.LittleEndian.PutUint64(b[12:], epoch)
+	binary.LittleEndian.PutUint32(b[20:], uint32(len(payload)))
+	copy(b[frameHeaderLen:], payload)
+	crc := crc32.ChecksumIEEE(b[:frameHeaderLen+len(payload)])
+	binary.LittleEndian.PutUint32(b[frameHeaderLen+len(payload):], crc)
+	if _, err := sw.w.Write(b); err != nil {
+		sw.err = err
+		return err
+	}
+	if typ == FrameReport {
+		sw.index = append(sw.index, IndexEntry{Epoch: epoch, Host: host, Offset: sw.off, Len: total})
+	}
+	sw.off += int64(total)
+	return nil
+}
+
+// WriteEncoded frames an already-encoded v0 report payload (the bytes a
+// HostReport.Encode produced) under (host, epoch).
+func (sw *StreamWriter) WriteEncoded(epoch uint64, host int, payload []byte) error {
+	return sw.writeFrame(FrameReport, 0, host, epoch, payload)
+}
+
+// WriteReport encodes r and frames it under epoch.
+func (sw *StreamWriter) WriteReport(epoch uint64, r *HostReport) error {
+	var buf bytes.Buffer
+	if _, err := r.Encode(&buf); err != nil {
+		return err
+	}
+	return sw.WriteEncoded(epoch, r.Host, buf.Bytes())
+}
+
+// Frames reports how many report frames have been written.
+func (sw *StreamWriter) Frames() int { return len(sw.index) }
+
+// Offset reports the number of bytes written so far.
+func (sw *StreamWriter) Offset() int64 { return sw.off }
+
+// Close appends the epoch index frame and the footer. It does not close
+// the underlying writer.
+func (sw *StreamWriter) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	indexOff := sw.off
+	var buf bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf.Write(scratch[:n])
+	}
+	put(uint64(len(sw.index)))
+	for _, e := range sw.index {
+		put(e.Epoch)
+		put(uint64(e.Host))
+		put(uint64(e.Offset))
+		put(uint64(e.Len))
+	}
+	if err := sw.writeFrame(FrameIndex, 0, 0, 0, buf.Bytes()); err != nil {
+		return err
+	}
+	var ftr [footerLen]byte
+	binary.LittleEndian.PutUint32(ftr[0:], footerMagic)
+	binary.LittleEndian.PutUint32(ftr[4:], 0)
+	binary.LittleEndian.PutUint64(ftr[8:], uint64(indexOff))
+	if _, err := sw.w.Write(ftr[:]); err != nil {
+		sw.err = err
+		return err
+	}
+	sw.off += footerLen
+	return nil
+}
+
+// --- reader ---
+
+// StreamReader consumes framed reports sequentially from any io.Reader —
+// a finished file, a growing file behind a tailing reader, a pipe or a
+// socket. Unknown frame types and payload versions are skipped (counted
+// by Skipped); CRC failures surface as ErrCRC but leave the reader
+// positioned at the next frame, so a caller may log and continue.
+type StreamReader struct {
+	r       io.Reader
+	hdr     [frameHeaderLen]byte
+	payload []byte
+	skipped int
+	crcErrs int
+}
+
+// NewStreamReader validates the stream header.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	var hdr [streamHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("report: short stream header: %w", errUnexpected(err))
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != streamMagic {
+		return nil, fmt.Errorf("%w: bad stream magic %#08x", ErrStreamCorrupt, m)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != streamVersion {
+		return nil, fmt.Errorf("report: unsupported stream version %d", v)
+	}
+	return &StreamReader{r: r}, nil
+}
+
+// Skipped reports how many unknown-type/unknown-version frames were
+// length-skipped.
+func (sr *StreamReader) Skipped() int { return sr.skipped }
+
+// CRCErrors reports how many frames failed their checksum.
+func (sr *StreamReader) CRCErrors() int { return sr.crcErrs }
+
+func errUnexpected(err error) error {
+	if err == io.ErrUnexpectedEOF {
+		return err
+	}
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Next returns the next report frame, reusing f's payload buffer. It
+// returns io.EOF at a clean end of stream (the footer, or EOF exactly on
+// a frame boundary). The returned frame's payload is valid until the
+// next call.
+func (sr *StreamReader) Next(f *Frame) error {
+	for {
+		// Frame magic first: a clean EOF here is the end of the stream.
+		if _, err := io.ReadFull(sr.r, sr.hdr[:4]); err != nil {
+			if err == io.EOF {
+				return io.EOF
+			}
+			return fmt.Errorf("report: short frame magic: %w", errUnexpected(err))
+		}
+		switch m := binary.LittleEndian.Uint32(sr.hdr[0:]); m {
+		case frameMagic:
+		case footerMagic:
+			// Footer: consume the remainder and end the stream. A truncated
+			// footer still ends cleanly — every frame before it was whole.
+			io.CopyN(io.Discard, sr.r, footerLen-4)
+			return io.EOF
+		default:
+			return fmt.Errorf("%w: bad frame magic %#08x", ErrStreamCorrupt, m)
+		}
+		if _, err := io.ReadFull(sr.r, sr.hdr[4:]); err != nil {
+			return fmt.Errorf("report: truncated frame header: %w", errUnexpected(err))
+		}
+		plen := int(binary.LittleEndian.Uint32(sr.hdr[20:]))
+		if plen > maxFramePayload {
+			return fmt.Errorf("%w: implausible frame payload %d", ErrStreamCorrupt, plen)
+		}
+		if cap(sr.payload) < plen+4 {
+			sr.payload = make([]byte, plen+4)
+		}
+		body := sr.payload[:plen+4]
+		if _, err := io.ReadFull(sr.r, body); err != nil {
+			return fmt.Errorf("report: truncated frame body: %w", errUnexpected(err))
+		}
+		crc := crc32.ChecksumIEEE(sr.hdr[:])
+		crc = crc32.Update(crc, crc32.IEEETable, body[:plen])
+		if want := binary.LittleEndian.Uint32(body[plen:]); crc != want {
+			sr.crcErrs++
+			return fmt.Errorf("%w: got %#08x want %#08x", ErrCRC, crc, want)
+		}
+		typ, ver := sr.hdr[4], sr.hdr[5]
+		if typ != FrameReport || ver != 0 {
+			// Forward compatibility: an unknown frame type or a payload
+			// version this reader cannot decode is skipped, not fatal.
+			sr.skipped++
+			continue
+		}
+		f.Type = typ
+		f.Version = ver
+		f.Host = int(binary.LittleEndian.Uint32(sr.hdr[8:]))
+		f.Epoch = binary.LittleEndian.Uint64(sr.hdr[12:])
+		f.Payload = body[:plen]
+		return nil
+	}
+}
+
+// ReadStream decodes every report frame of a stream into (epoch, report)
+// pairs — the batch-convenience entry point umon-analyze uses for framed
+// inputs.
+type EpochReport struct {
+	Epoch  uint64
+	Report *HostReport
+}
+
+// ReadStream reads r to the end of the stream, decoding every report
+// frame. Frames that fail their CRC are skipped (counted in the returned
+// badFrames) so one flipped bit does not discard a whole file.
+func ReadStream(r io.Reader) (reports []EpochReport, badFrames int, err error) {
+	sr, err := NewStreamReader(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	var f Frame
+	for {
+		err := sr.Next(&f)
+		if err == io.EOF {
+			return reports, badFrames, nil
+		}
+		if errors.Is(err, ErrCRC) {
+			badFrames++
+			continue
+		}
+		if err != nil {
+			return reports, badFrames, err
+		}
+		rep, err := f.Report()
+		if err != nil {
+			badFrames++
+			continue
+		}
+		reports = append(reports, EpochReport{Epoch: f.Epoch, Report: rep})
+	}
+}
+
+// --- seekable index access ---
+
+// ReadIndex loads the epoch index a finished stream file carries in its
+// final frame, via the footer's offset.
+func ReadIndex(rs io.ReadSeeker) ([]IndexEntry, error) {
+	if _, err := rs.Seek(-footerLen, io.SeekEnd); err != nil {
+		return nil, fmt.Errorf("report: seeking footer: %w", err)
+	}
+	var ftr [footerLen]byte
+	if _, err := io.ReadFull(rs, ftr[:]); err != nil {
+		return nil, fmt.Errorf("report: reading footer: %w", errUnexpected(err))
+	}
+	if m := binary.LittleEndian.Uint32(ftr[0:]); m != footerMagic {
+		return nil, fmt.Errorf("%w: bad footer magic %#08x (unfinished stream?)", ErrStreamCorrupt, m)
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(ftr[8:]))
+	if indexOff < streamHeaderLen {
+		return nil, fmt.Errorf("%w: implausible index offset %d", ErrStreamCorrupt, indexOff)
+	}
+	if _, err := rs.Seek(indexOff, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("report: seeking index: %w", err)
+	}
+	f, err := readFrameAt(rs)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != FrameIndex {
+		return nil, fmt.Errorf("%w: footer points at frame type %d, not index", ErrStreamCorrupt, f.Type)
+	}
+	br := bytes.NewReader(f.Payload)
+	n, err := binary.ReadUvarint(br)
+	if err != nil || n > maxFramePayload {
+		return nil, fmt.Errorf("%w: bad index count", ErrStreamCorrupt)
+	}
+	entries := make([]IndexEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var vals [4]uint64
+		for j := range vals {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated index entry", ErrStreamCorrupt)
+			}
+			vals[j] = v
+		}
+		entries = append(entries, IndexEntry{
+			Epoch: vals[0], Host: int(vals[1]), Offset: int64(vals[2]), Len: int(vals[3]),
+		})
+	}
+	return entries, nil
+}
+
+// readFrameAt reads exactly one CRC-checked frame at the current position.
+func readFrameAt(r io.Reader) (*Frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("report: truncated frame: %w", errUnexpected(err))
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != frameMagic {
+		return nil, fmt.Errorf("%w: bad frame magic %#08x", ErrStreamCorrupt, m)
+	}
+	plen := int(binary.LittleEndian.Uint32(hdr[20:]))
+	if plen > maxFramePayload {
+		return nil, fmt.Errorf("%w: implausible frame payload %d", ErrStreamCorrupt, plen)
+	}
+	body := make([]byte, plen+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("report: truncated frame body: %w", errUnexpected(err))
+	}
+	crc := crc32.ChecksumIEEE(hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, body[:plen])
+	if want := binary.LittleEndian.Uint32(body[plen:]); crc != want {
+		return nil, fmt.Errorf("%w: got %#08x want %#08x", ErrCRC, crc, want)
+	}
+	return &Frame{
+		Type:    hdr[4],
+		Version: hdr[5],
+		Host:    int(binary.LittleEndian.Uint32(hdr[8:])),
+		Epoch:   binary.LittleEndian.Uint64(hdr[12:]),
+		Payload: body[:plen],
+	}, nil
+}
+
+// ReadEpoch seeks out and decodes every report of one epoch using the
+// file's index — random access without scanning the stream.
+func ReadEpoch(rs io.ReadSeeker, index []IndexEntry, epoch uint64) ([]*HostReport, error) {
+	var out []*HostReport
+	for _, e := range index {
+		if e.Epoch != epoch {
+			continue
+		}
+		if _, err := rs.Seek(e.Offset, io.SeekStart); err != nil {
+			return nil, err
+		}
+		f, err := readFrameAt(rs)
+		if err != nil {
+			return nil, fmt.Errorf("report: epoch %d frame at %d: %w", epoch, e.Offset, err)
+		}
+		rep, err := f.Report()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

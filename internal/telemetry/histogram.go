@@ -3,6 +3,7 @@ package telemetry
 import (
 	"math/bits"
 	"sync/atomic"
+	"time"
 )
 
 // histBuckets is the bucket count: bucket b holds observations v with
@@ -78,4 +79,16 @@ func (h *Histogram) snap() Snapshot {
 		s.Buckets = append(s.Buckets, BucketCount{Le: le, Count: cum})
 	}
 	return s
+}
+
+// TimeHistogram starts a wall-clock measurement destined for h: the
+// returned func observes the elapsed nanoseconds when called. A nil
+// histogram returns a no-op closure without touching the clock, so the
+// disabled path stays free of time syscalls.
+func TimeHistogram(h *Histogram) func() {
+	if h == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Nanoseconds()) }
 }

@@ -61,6 +61,10 @@ func NewFull(cfg FullConfig) (*Full, error) {
 // Name implements measure.SeriesEstimator.
 func (f *Full) Name() string { return f.cfg.Light.Variant.String() + "-Full" }
 
+// Config returns the sketch configuration (used by streaming hosts to
+// build an identically-shaped spare sketch for swap-and-reset sealing).
+func (f *Full) Config() FullConfig { return f.cfg }
+
 // heavyIdx maps a key to its heavy slot. Each entry point (Update and the
 // query path) computes it exactly once and passes it down — the heavy-part
 // hash used to be recomputed by both. In one-hash mode the index is
