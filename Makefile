@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-accuracy bench-micro bench-ingest bench-baseline bench-query bench-query-baseline bench-sim bench-sim-baseline bench-mirror bench-mirror-baseline perf-gate fuzz-seed vet stream-demo
+.PHONY: build test test-short test-race bench bench-accuracy bench-micro bench-ingest bench-baseline bench-query bench-query-baseline bench-query-api bench-sim bench-sim-baseline bench-mirror bench-mirror-baseline perf-gate fuzz-seed vet stream-demo ops-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,8 @@ test-short:
 # telemetry plane (atomic counters/histograms, registry, tracer), the
 # netsim event engine (timing wheel vs heap-oracle determinism), and the
 # zero-copy mirror datapath (mbuf pool free lists/refcounts, pcapio
-# block-buffered reader/writer, in-place packet views).
+# block-buffered reader/writer, in-place packet views), the collector
+# window + event hub, and the ops API serving queries against live ingest.
 test-race:
 	$(GO) test -race ./internal/parallel
 	$(GO) test -race ./internal/experiments -run TestParallel
@@ -35,7 +36,9 @@ test-race:
 	$(GO) test -race ./internal/report -run 'TestStream|FuzzReportStream'
 	$(GO) test -race ./internal/core -run 'TestStream'
 	$(GO) test -race ./internal/collect
+	$(GO) test -race ./internal/opsapi
 	$(GO) test -race ./cmd/umon-collect
+	$(GO) test -race ./cmd/umonctl
 
 # Replay the fuzz seed corpora (the f.Add inputs) as plain regression
 # tests: go test runs every seed through the fuzz targets without the
@@ -94,6 +97,17 @@ bench-query-baseline:
 	$(GO) test -run XXX -bench '$(QUERY_BENCH)' -benchtime 2s -count 5 \
 		./internal/report ./internal/analyzer | tee bench-query.base.txt
 
+# Ops-API sustained QPS: concurrent /api/query/flow, /api/replay and
+# /api/status over real HTTP against a populated multi-epoch window —
+# the remote query path a dashboard or umonctl drives while ingest runs.
+# Writes BENCH_query.json (via benchjson) as the committed perf-gate
+# baseline; refresh it here after a deliberate perf change.
+QUERY_API_BENCH = QueryFlowAPI|ReplayAPI|StatusAPI
+bench-query-api:
+	$(GO) test -run XXX -bench '$(QUERY_API_BENCH)' -benchtime 2s -count 5 \
+		./internal/opsapi | tee bench-query-api.txt
+	$(GO) run ./cmd/benchjson -o BENCH_query.json bench-query-api.txt
+
 # Event-engine scheduling latency (ns/op, allocs): timing wheel vs the
 # in-tree heap oracle at several pending-event counts, the typed DCQCN
 # rearm path, and a full dumbbell simulation. Same benchstat-compatible
@@ -140,18 +154,23 @@ bench-mirror-baseline:
 	$(GO) test -run XXX -bench '$(MIRROR_BENCH)' -benchtime 2s -count 5 \
 		./internal/mbuf ./internal/pcapio ./internal/packet ./internal/analyzer | tee bench-mirror.base.txt
 
-# CI performance gate: re-run the mirror-datapath benchmarks (shorter
-# settings than bench-mirror — the 25% threshold absorbs the extra noise),
-# convert to benchjson, and fail if any benchmark named in the committed
-# BENCH_mirror.json baseline regressed in ns/op by more than
-# PERF_GATE_THRESHOLD percent or went missing. Refresh the baseline with
-# `make bench-mirror` after a deliberate perf change.
+# CI performance gate: re-run the mirror-datapath and ops-API benchmarks
+# (shorter settings than bench-mirror/bench-query-api — the 25% threshold
+# absorbs the extra noise), convert to benchjson, and fail if any
+# benchmark named in the committed BENCH_mirror.json / BENCH_query.json
+# baselines regressed in ns/op by more than PERF_GATE_THRESHOLD percent
+# or went missing. Refresh the baselines with `make bench-mirror` and
+# `make bench-query-api` after a deliberate perf change.
 PERF_GATE_THRESHOLD ?= 25
 perf-gate:
 	$(GO) test -run XXX -bench '$(MIRROR_BENCH)' -benchtime 1s -count 3 \
 		./internal/mbuf ./internal/pcapio ./internal/packet ./internal/analyzer | tee bench-gate.txt
 	$(GO) run ./cmd/benchjson -o bench-gate.json bench-gate.txt
 	$(GO) run ./cmd/benchgate -old BENCH_mirror.json -new bench-gate.json -threshold $(PERF_GATE_THRESHOLD)
+	$(GO) test -run XXX -bench '$(QUERY_API_BENCH)' -benchtime 1s -count 3 \
+		./internal/opsapi | tee bench-query-gate.txt
+	$(GO) run ./cmd/benchjson -o bench-query-gate.json bench-query-gate.txt
+	$(GO) run ./cmd/benchgate -old BENCH_query.json -new bench-query-gate.json -threshold $(PERF_GATE_THRESHOLD)
 
 # End-to-end streaming demo: simulate an incast on the dumbbell while the
 # hosts seal epoch-rotated reports into one framed stream, then run the
@@ -162,3 +181,11 @@ stream-demo:
 		-sample-bits 1 -out out/stream-demo
 	$(GO) run ./cmd/umon-collect -reports out/stream-demo/reports.umstream \
 		-mirrors out/stream-demo/mirrors.pcap -window 8 -epoch-ms 2 -telemetry-dump
+
+# End-to-end ops-plane smoke: generate a streamed run, start umon-collect
+# with the introspection server, drive it with umonctl (healthz readiness
+# poll, live event follow), SIGTERM the daemon, and assert the followed
+# stream, the JSONL event log, and the -summary-json drain summary all
+# agree on the event count. CI runs this.
+ops-smoke:
+	./scripts/ops-smoke.sh

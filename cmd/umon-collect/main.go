@@ -9,14 +9,22 @@
 //	umon-collect -reports out/reports.umstream -mirrors out/mirrors.pcap
 //	             [-window 16] [-epoch-ms 20] [-gap-us 50] [-decode-budget 64]
 //	             [-follow] [-telemetry-addr :9107]
+//	             [-summary-json out/summary.json] [-event-log out/events.jsonl]
 //
 // With -follow the daemon tails both inputs as they grow and runs until
 // SIGINT/SIGTERM, then drains open events and prints a summary. Without
 // it, the daemon processes the files to EOF and exits.
+//
+// -telemetry-addr serves the full introspection plane on one mux:
+// /metrics, /vars, /healthz and /debug/pprof from the telemetry package,
+// plus the live ops API (/api/status, /api/query/flow, /api/replay,
+// /api/events with ?follow= streaming, /api/trace/epochs) answering
+// against the live window — see cmd/umonctl for the client.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +37,7 @@ import (
 	"umon/internal/analyzer"
 	"umon/internal/collect"
 	"umon/internal/mbuf"
+	"umon/internal/opsapi"
 	"umon/internal/pcapio"
 	"umon/internal/report"
 	"umon/internal/telemetry"
@@ -44,8 +53,10 @@ func main() {
 	follow := flag.Bool("follow", false, "tail growing inputs until SIGINT/SIGTERM instead of stopping at EOF")
 	pollMs := flag.Int64("poll-ms", 50, "tail polling interval in -follow mode")
 	quiet := flag.Bool("quiet", false, "suppress per-event lines (summary only)")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry on this address (/metrics Prometheus, /vars JSON, /debug/pprof)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve telemetry + ops API on this address (/metrics, /healthz, /api/...)")
 	telemetryDump := flag.Bool("telemetry-dump", false, "print a telemetry summary to stderr at end of run")
+	summaryJSON := flag.String("summary-json", "", "write the final run stats as one JSON object to this file (- for stdout)")
+	eventLog := flag.String("event-log", "", "append every emitted event as one JSON line to this file")
 	flag.Parse()
 
 	if *reports == "" && *mirrors == "" {
@@ -53,29 +64,25 @@ func main() {
 		os.Exit(2)
 	}
 	reg := telemetry.NewRegistry()
-	if *telemetryAddr != "" {
-		srv, err := telemetry.Serve(*telemetryAddr, reg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "umon-collect:", err)
-			os.Exit(1)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "umon-collect: telemetry on http://%s/metrics\n", srv.Addr())
-	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err := run(ctx, options{
-		reports:      *reports,
-		mirrors:      *mirrors,
-		window:       *window,
-		epochNs:      *epochMs * 1_000_000,
-		gapNs:        *gapUs * 1000,
-		decodeBudget: *decodeBudget,
-		follow:       *follow,
-		pollInterval: time.Duration(*pollMs) * time.Millisecond,
-		quiet:        *quiet,
-		out:          os.Stdout,
+		reports:       *reports,
+		mirrors:       *mirrors,
+		window:        *window,
+		epochNs:       *epochMs * 1_000_000,
+		gapNs:         *gapUs * 1000,
+		decodeBudget:  *decodeBudget,
+		follow:        *follow,
+		pollInterval:  time.Duration(*pollMs) * time.Millisecond,
+		quiet:         *quiet,
+		telemetryAddr: *telemetryAddr,
+		summaryJSON:   *summaryJSON,
+		eventLog:      *eventLog,
+		out:           os.Stdout,
+		onReady: func(addr string) {
+			fmt.Fprintf(os.Stderr, "umon-collect: serving http://%s (/metrics, /healthz, /api/status)\n", addr)
+		},
 	}, reg)
 	if *telemetryDump {
 		reg.WriteSummary(os.Stderr)
@@ -95,7 +102,14 @@ type options struct {
 	follow           bool
 	pollInterval     time.Duration
 	quiet            bool
+	telemetryAddr    string
+	summaryJSON      string
+	eventLog         string
 	out              io.Writer
+	// onReady, when set, receives the bound introspection address once the
+	// server is listening (used by main for the startup line and by tests
+	// to learn a :0 port).
+	onReady func(addr string)
 }
 
 // tailReader turns a growing file into a blocking stream: EOF means "no
@@ -123,13 +137,72 @@ func (t *tailReader) Read(p []byte) (int, error) {
 	}
 }
 
+// lagSummary condenses a latency histogram for the JSON summary.
+type lagSummary struct {
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_le_ns"`
+	P99Ns  int64   `json:"p99_le_ns"`
+}
+
+func summarizeLag(h *telemetry.Histogram) lagSummary {
+	s := lagSummary{Count: h.Count(), P50Ns: h.Quantile(0.50), P99Ns: h.Quantile(0.99)}
+	if s.Count > 0 {
+		s.MeanNs = float64(h.Sum()) / float64(s.Count)
+	}
+	return s
+}
+
+// runSummary is the -summary-json object: the machine-readable form of
+// the drain summary the daemon prints.
+type runSummary struct {
+	Events          int        `json:"events"`
+	ReportsIngested int        `json:"reports_ingested"`
+	BadReports      int        `json:"bad_reports"`
+	MirrorsIngested int        `json:"mirrors_ingested"`
+	BadMirrors      int        `json:"bad_mirrors"`
+	ResidentEpochs  int        `json:"resident_epochs"`
+	ResidentReports int        `json:"resident_reports"`
+	Evictions       int64      `json:"evictions"`
+	DetectLag       lagSummary `json:"detect_lag"`
+	// Lifecycle stage latencies (wall clock), present when stamped reports
+	// were ingested.
+	SealShip    lagSummary `json:"seal_ship"`
+	ShipAdmit   lagSummary `json:"ship_admit"`
+	AdmitDetect lagSummary `json:"admit_detect"`
+	SealDetect  lagSummary `json:"seal_detect"`
+	// Event duration percentiles (ns), zero when no events.
+	DurationP50Ns int64 `json:"duration_p50_ns"`
+	DurationP90Ns int64 `json:"duration_p90_ns"`
+	DurationP99Ns int64 `json:"duration_p99_ns"`
+	DurationMaxNs int64 `json:"duration_max_ns"`
+}
+
 func run(ctx context.Context, opt options, reg *telemetry.Registry) error {
 	stats := collect.NewStats(reg)
 	// The collector is single-goroutine; the two ingest loops (reports,
-	// mirrors) serialize on this mutex. Events print from whichever loop
-	// closes them.
+	// mirrors) and the ops API handlers all serialize on this mutex.
+	// Events print from whichever loop closes them.
 	var mu sync.Mutex
+	hub := opsapi.NewHub()
+
+	var evLog *os.File
+	if opt.eventLog != "" {
+		f, err := os.Create(opt.eventLog)
+		if err != nil {
+			return err
+		}
+		evLog = f
+		defer evLog.Close()
+	}
+	seq := 0
 	onEvent := func(ev analyzer.Event) {
+		hub.Publish(ev)
+		if evLog != nil {
+			b, _ := json.Marshal(opsapi.NewEventJSON(seq, ev))
+			fmt.Fprintf(evLog, "%s\n", b)
+		}
+		seq++
 		if opt.quiet {
 			return
 		}
@@ -146,6 +219,19 @@ func run(ctx context.Context, opt options, reg *telemetry.Registry) error {
 		OnEvent:      onEvent,
 		Stats:        stats,
 	})
+
+	var srv *telemetry.Server
+	if opt.telemetryAddr != "" {
+		mux := telemetry.NewMux(reg)
+		opsapi.New(opsapi.Config{Collector: c, Mu: &mu, Hub: hub, Stats: stats}).Mount(mux)
+		var err error
+		if srv, err = telemetry.ServeHandler(opt.telemetryAddr, mux); err != nil {
+			return err
+		}
+		if opt.onReady != nil {
+			opt.onReady(srv.Addr())
+		}
+	}
 
 	open := func(path string) (io.Reader, *os.File, error) {
 		f, err := os.Open(path)
@@ -188,6 +274,15 @@ func run(ctx context.Context, opt options, reg *telemetry.Registry) error {
 				if err != nil {
 					errCh <- fmt.Errorf("reading %s: %w", opt.reports, err)
 					return
+				}
+				if fr.Type == report.FrameStamp {
+					// Seal/ship lifecycle stamp trailing its report frame.
+					if st, serr := fr.Stamp(); serr == nil {
+						mu.Lock()
+						c.Stamp(fr.Host, fr.Epoch, st)
+						mu.Unlock()
+					}
+					continue
 				}
 				if fr.Type != report.FrameReport {
 					continue
@@ -284,10 +379,14 @@ func run(ctx context.Context, opt options, reg *telemetry.Registry) error {
 	}
 
 	// End of input (or shutdown): close every still-open event and report.
+	// Drain publishes the final events through OnEvent (so followers see
+	// them), then the hub closes and streaming clients get their end frame
+	// before the server shuts down gracefully.
 	mu.Lock()
 	events := c.Drain()
 	epochs, resident := c.Window()
 	mu.Unlock()
+	hub.Close()
 
 	fmt.Fprintf(opt.out, "ingested      %d epoch reports (%d bad), %d mirrors (%d bad)\n",
 		reportsIn, badReports, mirrorsIn, badMirrors)
@@ -298,8 +397,25 @@ func run(ctx context.Context, opt options, reg *telemetry.Registry) error {
 		fmt.Fprintf(opt.out, "detect lag    %.0fus mean over %d online emissions\n",
 			float64(stats.DetectLagNs.Sum())/float64(n)/1000, n)
 	}
+	sum := runSummary{
+		Events:          len(events),
+		ReportsIngested: reportsIn,
+		BadReports:      badReports,
+		MirrorsIngested: mirrorsIn,
+		BadMirrors:      badMirrors,
+		ResidentEpochs:  len(epochs),
+		ResidentReports: resident,
+		Evictions:       reg.Value("umon_collect_evictions_total"),
+		DetectLag:       summarizeLag(stats.DetectLagNs),
+		SealShip:        summarizeLag(stats.SealShipNs),
+		ShipAdmit:       summarizeLag(stats.ShipAdmitNs),
+		AdmitDetect:     summarizeLag(stats.AdmitDetectNs),
+		SealDetect:      summarizeLag(stats.SealDetectNs),
+	}
 	if len(events) > 0 {
 		ds := analyzer.Durations(events)
+		sum.DurationP50Ns, sum.DurationP90Ns = ds.P50Ns, ds.P90Ns
+		sum.DurationP99Ns, sum.DurationMaxNs = ds.P99Ns, ds.MaxNs
 		fmt.Fprintf(opt.out, "durations     p50 %.0fus  p90 %.0fus  p99 %.0fus  max %.0fus\n",
 			float64(ds.P50Ns)/1000, float64(ds.P90Ns)/1000,
 			float64(ds.P99Ns)/1000, float64(ds.MaxNs)/1000)
@@ -309,7 +425,9 @@ func run(ctx context.Context, opt options, reg *telemetry.Registry) error {
 				best = ev
 			}
 		}
+		mu.Lock()
 		view := c.Replay(best, 250_000)
+		mu.Unlock()
 		var mass float64
 		for _, curve := range view.Curves {
 			for _, v := range curve {
@@ -319,5 +437,32 @@ func run(ctx context.Context, opt options, reg *telemetry.Registry) error {
 		fmt.Fprintf(opt.out, "replay        largest event %s: %d flows, %.0f bytes over %d windows\n",
 			best.String(), len(view.Curves), mass, view.Windows)
 	}
+	if opt.summaryJSON != "" {
+		if err := writeSummaryJSON(opt.summaryJSON, opt.out, sum); err != nil {
+			return err
+		}
+	}
+	if srv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutting down introspection server: %w", err)
+		}
+	}
 	return nil
+}
+
+func writeSummaryJSON(path string, stdout io.Writer, sum runSummary) error {
+	w := stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sum)
 }

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,8 +14,10 @@ import (
 	"testing"
 	"time"
 
+	"umon/internal/collect"
 	"umon/internal/flowkey"
 	"umon/internal/netsim"
+	"umon/internal/opsapi"
 	"umon/internal/pcapio"
 	"umon/internal/report"
 	"umon/internal/telemetry"
@@ -166,6 +172,195 @@ func TestCollectFollowShutdown(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "events        2 detected") {
 		t.Errorf("shutdown summary missing events:\n%s", out.String())
+	}
+}
+
+// TestCollectSummaryJSONAndEventLog runs a one-shot collect with the two
+// machine-readable outputs and checks both against the known artifacts:
+// the summary object carries the drain stats, the JSONL log carries one
+// parseable line per emitted event.
+func TestCollectSummaryJSONAndEventLog(t *testing.T) {
+	dir := t.TempDir()
+	reports, mirrors := writeArtifacts(t, dir)
+	summaryPath := filepath.Join(dir, "summary.json")
+	eventLogPath := filepath.Join(dir, "events.jsonl")
+	reg := telemetry.NewRegistry()
+	var out bytes.Buffer
+	err := run(context.Background(), options{
+		reports: reports, mirrors: mirrors,
+		window: 16, epochNs: 20_000_000, gapNs: 50_000,
+		summaryJSON: summaryPath, eventLog: eventLogPath,
+		quiet: true, out: &out,
+	}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := os.ReadFile(summaryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum runSummary
+	if err := json.Unmarshal(b, &sum); err != nil {
+		t.Fatalf("summary not one JSON object: %v\n%s", err, b)
+	}
+	if sum.Events != 2 || sum.ReportsIngested != 6 || sum.MirrorsIngested != 40 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.DetectLag.Count == 0 || sum.DetectLag.P50Ns <= 0 || sum.DetectLag.P99Ns < sum.DetectLag.P50Ns {
+		t.Errorf("detect lag percentiles = %+v", sum.DetectLag)
+	}
+	if sum.DurationP50Ns <= 0 || sum.DurationMaxNs < sum.DurationP99Ns {
+		t.Errorf("duration percentiles = %+v", sum)
+	}
+
+	lb, err := os.ReadFile(eventLogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(lb)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("event log has %d lines, want 2:\n%s", len(lines), lb)
+	}
+	for i, line := range lines {
+		var ev opsapi.EventJSON
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d not EventJSON: %v\n%s", i, err, line)
+		}
+		if ev.Seq != i || ev.Packets != 20 || ev.Switch != 2 {
+			t.Errorf("line %d = %+v", i, ev)
+		}
+	}
+}
+
+// TestCollectServesOpsAPI is the in-process e2e: a tailing daemon serves
+// the ops API on a live window; a follower streams /api/events over SSE
+// while ingest runs; after shutdown the streamed set equals the drain
+// summary's event count, and /api/status answered the live window.
+func TestCollectServesOpsAPI(t *testing.T) {
+	dir := t.TempDir()
+	reports, mirrors := writeArtifacts(t, dir)
+	reg := telemetry.NewRegistry()
+	var out bytes.Buffer
+	addrCh := make(chan string, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var runErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runErr = run(ctx, options{
+			reports: reports, mirrors: mirrors,
+			window: 16, epochNs: 20_000_000, gapNs: 50_000,
+			follow: true, pollInterval: 5 * time.Millisecond,
+			quiet: true, out: &out,
+			telemetryAddr: "127.0.0.1:0",
+			onReady:       func(addr string) { addrCh <- addr },
+		}, reg)
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(5 * time.Second):
+		cancel()
+		wg.Wait()
+		t.Fatalf("server never came up (err %v)", runErr)
+	}
+
+	// Start the SSE follower before ingest finishes.
+	sseResp, err := http.Get("http://" + addr + "/api/events?follow=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	type streamed struct {
+		events []opsapi.EventJSON
+		ended  bool
+	}
+	streamDone := make(chan streamed, 1)
+	go func() {
+		var got streamed
+		sc := bufio.NewScanner(sseResp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "data: ") && line != "data: {}" {
+				var ev opsapi.EventJSON
+				if json.Unmarshal([]byte(line[6:]), &ev) == nil {
+					got.events = append(got.events, ev)
+				}
+			}
+			if line == "event: end" {
+				got.ended = true
+			}
+		}
+		streamDone <- got
+	}()
+
+	// Wait for full ingest, then check liveness + live status.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Value("umon_collect_mirrors_ingested_total") < 40 ||
+		reg.Value("umon_collect_reports_ingested_total") < 6 {
+		if time.Now().After(deadline) {
+			cancel()
+			wg.Wait()
+			t.Fatalf("daemon never ingested artifacts (err %v)", runErr)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, b)
+		}
+		return b
+	}
+	if b := get("/healthz"); !strings.Contains(string(b), `"status": "ok"`) {
+		t.Errorf("healthz = %s", b)
+	}
+	var st collect.Status
+	if err := json.Unmarshal(get("/api/status"), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ReportsIngested != 6 || st.MirrorsIngested != 40 || len(st.Hosts) != 2 {
+		t.Errorf("live status = %+v", st)
+	}
+	var tr struct {
+		Traces []collect.EpochTrace `json:"traces"`
+	}
+	if err := json.Unmarshal(get("/api/trace/epochs"), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Traces) != 6 {
+		t.Errorf("traced %d epochs, want 6", len(tr.Traces))
+	}
+
+	// SIGTERM path: drain, stream the final events, end the SSE cleanly.
+	cancel()
+	wg.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var got streamed
+	select {
+	case got = <-streamDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE follower never terminated after shutdown")
+	}
+	if !got.ended {
+		t.Error("no end frame on the event stream")
+	}
+	if len(got.events) != 2 {
+		t.Fatalf("follower streamed %d events, drain summary says 2:\n%s", len(got.events), out.String())
+	}
+	if !strings.Contains(out.String(), "events        2 detected") {
+		t.Errorf("drain summary disagrees:\n%s", out.String())
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"time"
 
 	"umon/internal/analyzer"
 	"umon/internal/flowkey"
@@ -56,7 +57,17 @@ type Config struct {
 	OnEvent func(analyzer.Event)
 	// Stats is optional collector telemetry.
 	Stats *Stats
+	// TraceCap bounds the epoch-lifecycle trace ring (records kept for
+	// /api/trace/epochs). 0 means the default (4096); negative disables
+	// tracing entirely.
+	TraceCap int
+	// Now is the wall clock used for admit/detect lifecycle stamps (unix
+	// ns); nil means time.Now. Tests inject a fake clock here.
+	Now func() int64
 }
+
+// defaultTraceCap bounds the lifecycle ring when the caller does not.
+const defaultTraceCap = 4096
 
 // epochReports is one epoch's resident reports, keyed by host.
 type epochReports map[int]*report.Queryable
@@ -80,6 +91,15 @@ type Collector struct {
 	trimNs    int64
 	sincePoll int
 	events    []analyzer.Event
+
+	// traces is the bounded epoch-lifecycle ring (nil when disabled); now
+	// is the wall clock stamping admit/detect.
+	traces *traceRing
+	now    func() int64
+
+	// Plain ingest accounting (telemetry-independent, for Status).
+	reportsIn int64
+	mirrorsIn int64
 }
 
 // New builds a collector.
@@ -95,6 +115,16 @@ func New(cfg Config) *Collector {
 		an:        analyzer.New(),
 		window:    make(map[uint64]epochReports),
 		watermark: math.MinInt64,
+		now:       cfg.Now,
+	}
+	if c.now == nil {
+		c.now = func() int64 { return time.Now().UnixNano() }
+	}
+	switch {
+	case cfg.TraceCap == 0:
+		c.traces = newTraceRing(defaultTraceCap)
+	case cfg.TraceCap > 0:
+		c.traces = newTraceRing(cfg.TraceCap)
 	}
 	if cfg.Stats != nil {
 		c.stats = *cfg.Stats
@@ -106,6 +136,12 @@ func New(cfg Config) *Collector {
 // evicting the oldest epoch if the window is over budget. Reports for
 // already-evicted epochs are dropped and counted.
 func (c *Collector) Add(epoch uint64, rep *report.HostReport) {
+	c.AddStamped(epoch, rep, report.EpochStamp{})
+}
+
+// AddStamped admits one decoded host report carrying its seal/ship
+// lifecycle stamp (zero stamp = unstamped legacy input).
+func (c *Collector) AddStamped(epoch uint64, rep *report.HostReport, st report.EpochStamp) {
 	if epoch < c.floor {
 		c.stats.LateReports.Inc()
 		return
@@ -129,7 +165,9 @@ func (c *Collector) Add(epoch uint64, rep *report.HostReport) {
 		c.resident++
 	}
 	er[rep.Host] = q
+	c.reportsIn++
 	c.stats.ReportsIngested.Inc()
+	c.noteAdmit(rep.Host, epoch, st, c.now())
 	for c.cfg.WindowEpochs > 0 && len(c.epochs) > c.cfg.WindowEpochs {
 		c.evictOldest()
 	}
@@ -144,6 +182,13 @@ func (c *Collector) AddEncoded(epoch uint64, payload []byte) error {
 	}
 	c.Add(epoch, rep)
 	return nil
+}
+
+// Stamp backfills the seal/ship lifecycle stamp of an already-admitted
+// (host, epoch) report — the path for stream feeds, where the stamp frame
+// trails the report frame it describes.
+func (c *Collector) Stamp(host int, epoch uint64, st report.EpochStamp) {
+	c.noteStamp(host, epoch, st)
 }
 
 func (c *Collector) evictOldest() {
@@ -173,6 +218,12 @@ func (c *Collector) IngestStream(r io.Reader) (reports, bad int, err error) {
 		}
 		if err != nil {
 			return reports, bad + sr.CRCErrors(), err
+		}
+		if fr.Type == report.FrameStamp {
+			if st, err := fr.Stamp(); err == nil {
+				c.Stamp(fr.Host, fr.Epoch, st)
+			}
+			continue
 		}
 		if fr.Type != report.FrameReport {
 			continue
@@ -216,6 +267,7 @@ func (c *Collector) AddMirror(m uevent.MirrorRecord) {
 		return
 	}
 	c.an.AddMirror(m)
+	c.mirrorsIn++
 	c.stats.MirrorsIngested.Inc()
 	if m.TimestampNs > c.watermark {
 		c.watermark = m.TimestampNs
@@ -268,6 +320,7 @@ func (c *Collector) Poll() int {
 	}
 	closedBelow := c.watermark - c.cfg.GapNs
 	emitted := 0
+	detectNs := c.now()
 	for _, ev := range c.an.DetectEvents(c.cfg.GapNs) {
 		if ev.EndNs > closedBelow {
 			continue
@@ -280,6 +333,7 @@ func (c *Collector) Poll() int {
 			// Drain sentinel watermark would record nonsense.
 			c.stats.DetectLagNs.Observe(c.watermark - ev.EndNs)
 		}
+		c.noteDetect(ev.StartNs, ev.EndNs, detectNs)
 		if c.cfg.OnEvent != nil {
 			c.cfg.OnEvent(ev)
 		}
@@ -329,6 +383,74 @@ func (c *Collector) Watermark() int64 { return c.watermark }
 // total resident Queryables.
 func (c *Collector) Window() (epochs []uint64, resident int) {
 	return append([]uint64(nil), c.epochs...), c.resident
+}
+
+// HostWindow is one host's resident epochs, for Status.
+type HostWindow struct {
+	Host   int      `json:"host"`
+	Epochs []uint64 `json:"epochs"`
+}
+
+// Status is a point-in-time snapshot of the collector's window and
+// ingest progress — the /api/status answer.
+type Status struct {
+	// Configuration.
+	WindowEpochs int   `json:"window_epochs"`
+	EpochNs      int64 `json:"epoch_ns"`
+	GapNs        int64 `json:"gap_ns"`
+	DecodeBudget int   `json:"decode_budget"`
+
+	// Window occupancy.
+	Epochs          []uint64     `json:"epochs"`
+	ResidentReports int          `json:"resident_reports"`
+	ResidentCurves  int          `json:"resident_curves"`
+	EvictionFloor   uint64       `json:"eviction_floor"`
+	Hosts           []HostWindow `json:"hosts"`
+
+	// Ingest progress.
+	HasWatermark    bool  `json:"has_watermark"`
+	WatermarkNs     int64 `json:"watermark_ns"`
+	ReportsIngested int64 `json:"reports_ingested"`
+	MirrorsIngested int64 `json:"mirrors_ingested"`
+	EventsEmitted   int   `json:"events_emitted"`
+	TracedEpochs    int   `json:"traced_epochs"`
+}
+
+// Status snapshots the window, watermark and ingest counters. Like every
+// Collector method it must be serialized with ingest by the owner.
+func (c *Collector) Status() Status {
+	st := Status{
+		WindowEpochs:    c.cfg.WindowEpochs,
+		EpochNs:         c.cfg.EpochNs,
+		GapNs:           c.cfg.GapNs,
+		DecodeBudget:    c.cfg.DecodeBudget,
+		Epochs:          append([]uint64{}, c.epochs...),
+		ResidentReports: c.resident,
+		ResidentCurves:  c.ResidentCurves(),
+		EvictionFloor:   c.floor,
+		ReportsIngested: c.reportsIn,
+		MirrorsIngested: c.mirrorsIn,
+		EventsEmitted:   len(c.events),
+	}
+	if c.watermark != math.MinInt64 {
+		st.HasWatermark = true
+		st.WatermarkNs = c.watermark
+	}
+	if c.traces != nil {
+		st.TracedEpochs = len(c.traces.buf)
+	}
+	byHost := make(map[int][]uint64)
+	for _, e := range c.epochs {
+		for h := range c.window[e] {
+			byHost[h] = append(byHost[h], e)
+		}
+	}
+	st.Hosts = make([]HostWindow, 0, len(byHost))
+	for h, es := range byHost {
+		st.Hosts = append(st.Hosts, HostWindow{Host: h, Epochs: es})
+	}
+	sort.Slice(st.Hosts, func(i, j int) bool { return st.Hosts[i].Host < st.Hosts[j].Host })
+	return st
 }
 
 // ResidentCurves totals decoded curves across the window — the decode-

@@ -31,6 +31,18 @@ type Stats struct {
 	// had advanced past the event's end when it closed — the online
 	// detection lag.
 	DetectLagNs *telemetry.Histogram
+
+	// Epoch-lifecycle stage latencies (wall-clock ns), decomposing the
+	// report pipeline per (host, epoch): SealShipNs is host seal start →
+	// sink ship, ShipAdmitNs is ship → window admission, AdmitDetectNs is
+	// admission → first overlapping event emission, and SealDetectNs is the
+	// end-to-end total — by construction the sum of the three stages, which
+	// TestTraceStageHistogramsReconcile pins.
+	SealShipNs    *telemetry.Histogram
+	ShipAdmitNs   *telemetry.Histogram
+	AdmitDetectNs *telemetry.Histogram
+	SealDetectNs  *telemetry.Histogram
+
 	// Decode is attached to every admitted Queryable (curve decode
 	// hits/misses/evictions under the decode budget).
 	Decode *report.QueryStats
@@ -52,6 +64,10 @@ func NewStats(reg *telemetry.Registry) *Stats {
 		LateMirrors:     reg.Counter("umon_collect_late_mirrors_total", "mirrors dropped below the trim horizon"),
 		EventsEmitted:   reg.Counter("umon_collect_events_emitted_total", "congestion events closed and emitted online"),
 		DetectLagNs:     reg.Histogram("umon_collect_detect_lag_ns", "watermark lead past event end at emission (ns)"),
+		SealShipNs:      reg.Histogram("umon_trace_seal_ship_ns", "epoch lifecycle: host seal start to sink ship (wall ns)"),
+		ShipAdmitNs:     reg.Histogram("umon_trace_ship_admit_ns", "epoch lifecycle: sink ship to window admission (wall ns)"),
+		AdmitDetectNs:   reg.Histogram("umon_trace_admit_detect_ns", "epoch lifecycle: admission to first overlapping event emission (wall ns)"),
+		SealDetectNs:    reg.Histogram("umon_trace_seal_detect_ns", "epoch lifecycle: seal to detection end-to-end (wall ns)"),
 		Decode:          report.NewQueryStats(reg),
 	}
 }

@@ -1,0 +1,187 @@
+package collect
+
+// Epoch-lifecycle tracing: every (host, epoch) report admitted to the
+// window carries four wall-clock stamps — seal (host started sealing the
+// sketch), ship (the sink framed it onto the wire), admit (the collector
+// put it in the window), detect (the first online detection pass emitted
+// an event overlapping the epoch). The stamps decompose the collector's
+// single end-to-end detection-lag number into per-stage latencies a
+// deployment can act on: a fat seal→ship says the host sealer is slow, a
+// fat ship→admit says the transport or the collector's ingest loop is
+// backed up, a fat admit→detect says the watermark (mirror feed) is
+// lagging the report feed.
+//
+// Records live in a bounded ring (TraceCap, default 4096): a long-lived
+// daemon keeps the recent lifecycle history queryable over /api/trace/...
+// at O(1) memory, the same discipline as the epoch window itself.
+
+import "umon/internal/report"
+
+// EpochTrace is the lifecycle record of one (host, epoch) report. Stamps
+// are wall-clock unix nanoseconds; 0 means the stage was never observed
+// (e.g. an unstamped legacy stream has no seal/ship, an epoch whose span
+// never overlapped an emitted event has no detect).
+type EpochTrace struct {
+	Host  int    `json:"host"`
+	Epoch uint64 `json:"epoch"`
+
+	SealNs   int64 `json:"seal_unix_ns,omitempty"`
+	ShipNs   int64 `json:"ship_unix_ns,omitempty"`
+	AdmitNs  int64 `json:"admit_unix_ns"`
+	DetectNs int64 `json:"detect_unix_ns,omitempty"`
+}
+
+type traceKey struct {
+	host  int
+	epoch uint64
+}
+
+// traceRing is a fixed-capacity overwrite-oldest ring of EpochTraces with
+// a (host, epoch) index for stamp backfill. Single-goroutine, like the
+// Collector that owns it.
+type traceRing struct {
+	buf []EpochTrace
+	seq int               // total records ever admitted
+	idx map[traceKey]int  // (host, epoch) -> absolute seq of its slot
+}
+
+func newTraceRing(capacity int) *traceRing {
+	return &traceRing{
+		buf: make([]EpochTrace, 0, capacity),
+		idx: make(map[traceKey]int),
+	}
+}
+
+// add records a new trace, overwriting the oldest once full, and returns
+// a pointer valid until the next add.
+func (r *traceRing) add(tr EpochTrace) *EpochTrace {
+	k := traceKey{tr.Host, tr.Epoch}
+	if p := r.lookup(k.host, k.epoch); p != nil {
+		// Re-admission of the same (host, epoch) — e.g. a re-shipped report
+		// after a transport retry — refreshes the record in place.
+		*p = tr
+		return p
+	}
+	var p *EpochTrace
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, tr)
+		p = &r.buf[len(r.buf)-1]
+	} else {
+		slot := r.seq % cap(r.buf)
+		delete(r.idx, traceKey{r.buf[slot].Host, r.buf[slot].Epoch})
+		r.buf[slot] = tr
+		p = &r.buf[slot]
+	}
+	r.idx[k] = r.seq
+	r.seq++
+	return p
+}
+
+// lookup returns the live record for (host, epoch), or nil if it was
+// never traced or already overwritten.
+func (r *traceRing) lookup(host int, epoch uint64) *EpochTrace {
+	seq, ok := r.idx[traceKey{host, epoch}]
+	if !ok {
+		return nil
+	}
+	return &r.buf[seq%cap(r.buf)]
+}
+
+// snapshot copies the ring oldest-first.
+func (r *traceRing) snapshot() []EpochTrace {
+	if len(r.buf) < cap(r.buf) {
+		return append([]EpochTrace(nil), r.buf...)
+	}
+	out := make([]EpochTrace, 0, len(r.buf))
+	start := r.seq % cap(r.buf)
+	out = append(out, r.buf[start:]...)
+	return append(out, r.buf[:start]...)
+}
+
+// each visits every live record, oldest-first, allowing mutation.
+func (r *traceRing) each(f func(*EpochTrace)) {
+	if len(r.buf) < cap(r.buf) {
+		for i := range r.buf {
+			f(&r.buf[i])
+		}
+		return
+	}
+	start := r.seq % cap(r.buf)
+	for i := 0; i < len(r.buf); i++ {
+		f(&r.buf[(start+i)%cap(r.buf)])
+	}
+}
+
+// noteAdmit opens the lifecycle record at admission, folding in any
+// pending seal/ship stamp, and observes the report-pipeline stage
+// latencies that are complete at this point.
+func (c *Collector) noteAdmit(host int, epoch uint64, st report.EpochStamp, admitNs int64) {
+	if c.traces == nil {
+		return
+	}
+	tr := c.traces.add(EpochTrace{
+		Host: host, Epoch: epoch,
+		SealNs: st.SealNs, ShipNs: st.ShipNs, AdmitNs: admitNs,
+	})
+	c.observeStamped(tr)
+}
+
+// noteStamp backfills seal/ship stamps that arrive after their report
+// frame (the StreamSink writes report first, stamp second).
+func (c *Collector) noteStamp(host int, epoch uint64, st report.EpochStamp) {
+	if c.traces == nil {
+		return
+	}
+	tr := c.traces.lookup(host, epoch)
+	if tr == nil || tr.SealNs != 0 || tr.ShipNs != 0 {
+		return // report lost, evicted from the ring, or already stamped
+	}
+	tr.SealNs, tr.ShipNs = st.SealNs, st.ShipNs
+	c.observeStamped(tr)
+}
+
+// observeStamped records the stage latencies available once seal/ship
+// stamps and the admit stamp are both known.
+func (c *Collector) observeStamped(tr *EpochTrace) {
+	if tr.SealNs == 0 || tr.ShipNs == 0 {
+		return
+	}
+	c.stats.SealShipNs.Observe(tr.ShipNs - tr.SealNs)
+	c.stats.ShipAdmitNs.Observe(tr.AdmitNs - tr.ShipNs)
+}
+
+// noteDetect stamps every still-undetected trace whose epoch span overlaps
+// an event emitted by this detection pass, and observes the tail stages.
+func (c *Collector) noteDetect(startNs, endNs int64, detectNs int64) {
+	if c.traces == nil || c.cfg.EpochNs <= 0 {
+		return
+	}
+	e0 := epochOf(startNs, c.cfg.EpochNs)
+	e1 := epochOf(endNs, c.cfg.EpochNs)
+	c.traces.each(func(tr *EpochTrace) {
+		if tr.DetectNs != 0 || tr.Epoch < e0 || tr.Epoch > e1 {
+			return
+		}
+		tr.DetectNs = detectNs
+		c.stats.AdmitDetectNs.Observe(detectNs - tr.AdmitNs)
+		if tr.SealNs != 0 {
+			c.stats.SealDetectNs.Observe(detectNs - tr.SealNs)
+		}
+	})
+}
+
+// epochOf maps a simulation timestamp to its measurement epoch.
+func epochOf(ns, epochNs int64) uint64 {
+	if ns < 0 {
+		return 0
+	}
+	return uint64(ns / epochNs)
+}
+
+// Traces returns the lifecycle ring, oldest record first.
+func (c *Collector) Traces() []EpochTrace {
+	if c.traces == nil {
+		return nil
+	}
+	return c.traces.snapshot()
+}

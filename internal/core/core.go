@@ -91,6 +91,7 @@ func (m *HostMonitor) OnPacket(f flowkey.Key, ns int64, size int) error {
 }
 
 func (m *HostMonitor) flushPeriod() error {
+	sealedAt := unixNow()
 	m.sketch.Seal()
 	rep := report.FromFull(m.host, m.periodStart>>m.cfg.WindowShift, m.sketch)
 	var buf bytes.Buffer
@@ -106,6 +107,7 @@ func (m *HostMonitor) flushPeriod() error {
 			Epoch:         uint64(m.periodStart / m.cfg.PeriodNs),
 			PeriodStartNs: m.periodStart,
 			Encoded:       buf.Bytes(),
+			SealedAtNs:    sealedAt,
 		})
 		if err != nil {
 			return fmt.Errorf("core: shipping host %d report: %w", m.host, err)

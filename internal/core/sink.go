@@ -3,9 +3,13 @@ package core
 import (
 	"io"
 	"sync"
+	"time"
 
 	"umon/internal/report"
 )
+
+// unixNow is the wall clock lifecycle stamps are taken from.
+func unixNow() int64 { return time.Now().UnixNano() }
 
 // SealedReport is one epoch's encoded upload from one host: the unit the
 // streaming deployment ships from hosts to the collector.
@@ -18,6 +22,10 @@ type SealedReport struct {
 	// of Ship — sinks that retain it must copy (the sealer reuses its
 	// encode buffer for the next epoch).
 	Encoded []byte
+	// SealedAtNs is the wall-clock time (unix ns) the seal began; 0 means
+	// unstamped. Stamp-aware sinks pair it with their own ship time into a
+	// lifecycle stamp the collector turns into per-stage latency.
+	SealedAtNs int64
 }
 
 // ReportSink receives sealed reports from host monitors. Implementations
@@ -34,9 +42,13 @@ type ReportSink interface {
 // StreamSink ships reports as framed records of the epoch-rotated stream
 // format onto one writer — a file, a pipe or a net.Conn. Safe for
 // concurrent Ship across hosts; Close appends the epoch index and footer.
+// Reports carrying a seal stamp are followed by a FrameStamp recording
+// (seal, ship) wall times — the collector's raw material for the
+// seal→ship→admit→detect latency decomposition.
 type StreamSink struct {
-	mu sync.Mutex
-	sw *report.StreamWriter
+	mu  sync.Mutex
+	sw  *report.StreamWriter
+	now func() int64 // wall clock (unix ns); swappable in tests
 }
 
 // NewStreamSink writes the stream header onto w.
@@ -45,14 +57,24 @@ func NewStreamSink(w io.Writer) (*StreamSink, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &StreamSink{sw: sw}, nil
+	return &StreamSink{sw: sw, now: unixNow}, nil
 }
 
-// Ship frames one sealed report.
+// Ship frames one sealed report, plus its lifecycle stamp when the
+// monitor recorded a seal time.
 func (s *StreamSink) Ship(r SealedReport) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.sw.WriteEncoded(r.Epoch, r.Host, r.Encoded)
+	if err := s.sw.WriteEncoded(r.Epoch, r.Host, r.Encoded); err != nil {
+		return err
+	}
+	if r.SealedAtNs == 0 {
+		return nil
+	}
+	return s.sw.WriteStamp(r.Epoch, r.Host, report.EpochStamp{
+		SealNs: r.SealedAtNs,
+		ShipNs: s.now(),
+	})
 }
 
 // Frames reports how many reports have been framed.

@@ -177,6 +177,7 @@ func (m *StreamHostMonitor) sealer() {
 
 func (m *StreamHostMonitor) sealAndShip(sk *wavesketch.Full, periodStart int64) error {
 	span := telemetry.TimeHistogram(m.stats.SealNs)
+	sealedAt := unixNow()
 	sk.Seal()
 	rep := report.FromFull(m.host, periodStart>>m.cfg.WindowShift, sk)
 	m.encodeBuf.Reset()
@@ -192,6 +193,7 @@ func (m *StreamHostMonitor) sealAndShip(sk *wavesketch.Full, periodStart int64) 
 		Epoch:         uint64(periodStart / m.cfg.PeriodNs),
 		PeriodStartNs: periodStart,
 		Encoded:       m.encodeBuf.Bytes(),
+		SealedAtNs:    sealedAt,
 	})
 	span()
 	if err != nil {

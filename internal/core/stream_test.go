@@ -261,6 +261,16 @@ func TestStreamSinkConcurrentShip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if fr.Type == report.FrameStamp {
+			st, err := fr.Stamp()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.SealNs <= 0 || st.ShipNs < st.SealNs {
+				t.Fatalf("implausible lifecycle stamp %+v", st)
+			}
+			continue
+		}
 		if _, err := fr.Report(); err != nil {
 			t.Fatal(err)
 		}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math/bits"
 	"net/netip"
+	"strconv"
+	"strings"
 )
 
 // Key is a 5-tuple flow identifier. IPv4 addresses are stored as uint32 in
@@ -35,6 +37,54 @@ func (k Key) String() string {
 
 func u32ip(v uint32) netip.Addr {
 	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// Parse is the inverse of String: it reads a key back from the
+// "src:port>dst:port/proto" form, so flows printed by one tool (an event
+// listing, a log line) can be fed verbatim into another (a query API).
+func Parse(s string) (Key, error) {
+	src, rest, ok := strings.Cut(s, ">")
+	if !ok {
+		return Key{}, fmt.Errorf("flowkey: %q: missing '>'", s)
+	}
+	dst, proto, ok := strings.Cut(rest, "/")
+	if !ok {
+		return Key{}, fmt.Errorf("flowkey: %q: missing '/proto'", s)
+	}
+	var k Key
+	var err error
+	if k.SrcIP, k.SrcPort, err = parseEndpoint(src); err != nil {
+		return Key{}, fmt.Errorf("flowkey: %q: src: %w", s, err)
+	}
+	if k.DstIP, k.DstPort, err = parseEndpoint(dst); err != nil {
+		return Key{}, fmt.Errorf("flowkey: %q: dst: %w", s, err)
+	}
+	p, err := strconv.ParseUint(proto, 10, 8)
+	if err != nil {
+		return Key{}, fmt.Errorf("flowkey: %q: proto: %w", s, err)
+	}
+	k.Proto = uint8(p)
+	return k, nil
+}
+
+func parseEndpoint(s string) (ip uint32, port uint16, err error) {
+	host, portStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("%q: missing ':port'", s)
+	}
+	addr, err := netip.ParseAddr(host)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !addr.Is4() {
+		return 0, 0, fmt.Errorf("%q: not IPv4", host)
+	}
+	b := addr.As4()
+	p, err := strconv.ParseUint(portStr, 10, 16)
+	if err != nil {
+		return 0, 0, err
+	}
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), uint16(p), nil
 }
 
 // Compare orders keys lexicographically over (SrcIP, DstIP, SrcPort,

@@ -16,6 +16,42 @@ func TestString(t *testing.T) {
 	}
 }
 
+// TestParseRoundTrip pins Parse as the exact inverse of String, including
+// over arbitrary keys.
+func TestParseRoundTrip(t *testing.T) {
+	k := Key{SrcIP: 0x0a000101, DstIP: 0x0a000201, SrcPort: 10007, DstPort: RoCEPort, Proto: ProtoUDP}
+	got, err := Parse(k.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Fatalf("Parse(String) = %+v, want %+v", got, k)
+	}
+	if err := quick.Check(func(k Key) bool {
+		got, err := Parse(k.String())
+		return err == nil && got == k
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"10.0.1.1:1>10.0.2.1:2", // no proto
+		"10.0.1.1:1-10.0.2.1:2/17",
+		"10.0.1.1>10.0.2.1:2/17",    // src missing port
+		"10.0.1.1:1>10.0.2.1:2/300", // proto overflows uint8
+		"10.0.1.1:70000>10.0.2.1:2/17",
+		"::1:1>10.0.2.1:2/17", // not IPv4
+		"bogus:1>10.0.2.1:2/17",
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
 func TestReverse(t *testing.T) {
 	k := Key{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17}
 	r := k.Reverse()

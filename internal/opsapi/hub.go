@@ -1,0 +1,101 @@
+package opsapi
+
+import (
+	"context"
+	"sync"
+
+	"umon/internal/analyzer"
+)
+
+// Hub fans the collector's online event stream out to any number of API
+// subscribers without ever blocking the ingest loop or dropping an event.
+// It keeps the full backlog (events are small and the daemon's lifetime is
+// the run), hands each subscriber a cursor, and wakes blocked subscribers
+// by closing a broadcast channel — Publish is O(1) regardless of how many
+// followers are parked, and a follower that connects late replays the
+// backlog before streaming live. Losslessness is what lets the e2e smoke
+// assert "streamed events == drain summary" exactly.
+type Hub struct {
+	mu     sync.Mutex
+	events []analyzer.Event
+	wake   chan struct{}
+	closed bool
+}
+
+// NewHub returns an open hub.
+func NewHub() *Hub {
+	return &Hub{wake: make(chan struct{})}
+}
+
+// Publish appends one event and wakes every blocked subscriber. Publishing
+// on a closed hub is a no-op.
+func (h *Hub) Publish(ev analyzer.Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.events = append(h.events, ev)
+	close(h.wake)
+	h.wake = make(chan struct{})
+}
+
+// Close marks the stream complete (ingest drained): blocked subscribers
+// wake and followers terminate after replaying the remaining backlog.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.closed {
+		h.closed = true
+		close(h.wake)
+	}
+}
+
+// Len returns the number of events published so far.
+func (h *Hub) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.events)
+}
+
+// Snapshot returns a copy of the backlog from cursor on, the next cursor,
+// and whether the hub is still open. Never blocks.
+func (h *Hub) Snapshot(cursor int) (evs []analyzer.Event, next int, open bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(h.events) {
+		cursor = len(h.events)
+	}
+	return append([]analyzer.Event(nil), h.events[cursor:]...), len(h.events), !h.closed
+}
+
+// Wait blocks until the backlog extends past cursor, the hub closes, or
+// ctx expires, then returns like Snapshot. A ctx expiry with no news
+// returns an empty slice with open=true — the long-poll timeout shape.
+func (h *Hub) Wait(ctx context.Context, cursor int) (evs []analyzer.Event, next int, open bool) {
+	if cursor < 0 {
+		cursor = 0
+	}
+	for {
+		h.mu.Lock()
+		if cursor > len(h.events) {
+			cursor = len(h.events)
+		}
+		if cursor < len(h.events) || h.closed {
+			evs := append([]analyzer.Event(nil), h.events[cursor:]...)
+			next, open := len(h.events), !h.closed
+			h.mu.Unlock()
+			return evs, next, open
+		}
+		wake := h.wake
+		h.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, cursor, true
+		case <-wake:
+		}
+	}
+}

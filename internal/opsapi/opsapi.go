@@ -1,0 +1,341 @@
+// Package opsapi is the collector daemon's live introspection plane: a
+// JSON HTTP API mounted on the same mux as the telemetry endpoints, so one
+// -telemetry-addr flag serves metrics, profiling, and operational queries
+// against the live epoch window.
+//
+//	/api/status        window occupancy, watermark, ingest counters
+//	/api/hosts         per-host resident epoch lists
+//	/api/query/flow    QueryFlow against the live window
+//	/api/replay        Replay of an emitted event
+//	/api/events        emitted events; ?follow= streams live over SSE
+//	/api/trace/epochs  epoch-lifecycle traces + per-stage latency summaries
+//
+// The Collector is single-goroutine; the API serializes every collector
+// touch through the same lock the daemon's ingest loop holds, so handlers
+// see consistent snapshots and never race ingest. Handlers hold the lock
+// only while touching the collector — never while writing the response —
+// so a slow client cannot stall ingest.
+package opsapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"umon/internal/analyzer"
+	"umon/internal/collect"
+	"umon/internal/flowkey"
+	"umon/internal/telemetry"
+)
+
+// API serves the introspection routes for one Collector.
+type API struct {
+	mu    sync.Locker
+	col   *collect.Collector
+	hub   *Hub
+	stats *collect.Stats
+}
+
+// Config parameterizes New. Collector is required; everything else is
+// optional.
+type Config struct {
+	// Collector is the live window the API answers from.
+	Collector *collect.Collector
+	// Mu serializes collector access with the owner's ingest loop. nil
+	// means the API gets a private mutex — correct only when nothing else
+	// touches the collector concurrently.
+	Mu sync.Locker
+	// Hub, when set, backs /api/events with the live stream (lossless
+	// follow). Without it, /api/events serves the collector's emitted list
+	// and ?follow= is rejected.
+	Hub *Hub
+	// Stats, when set, adds per-stage latency summaries to
+	// /api/trace/epochs.
+	Stats *collect.Stats
+}
+
+// New builds the API. It panics on a nil Collector — that is a wiring bug,
+// not a runtime condition.
+func New(cfg Config) *API {
+	if cfg.Collector == nil {
+		panic("opsapi: nil Collector")
+	}
+	if cfg.Mu == nil {
+		cfg.Mu = &sync.Mutex{}
+	}
+	return &API{mu: cfg.Mu, col: cfg.Collector, hub: cfg.Hub, stats: cfg.Stats}
+}
+
+// Mount registers the /api/ routes on mux (typically telemetry.NewMux's).
+func (a *API) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/api/status", a.handleStatus)
+	mux.HandleFunc("/api/hosts", a.handleHosts)
+	mux.HandleFunc("/api/query/flow", a.handleQueryFlow)
+	mux.HandleFunc("/api/replay", a.handleReplay)
+	mux.HandleFunc("/api/events", a.handleEvents)
+	mux.HandleFunc("/api/trace/epochs", a.handleTrace)
+}
+
+// EventJSON is the wire form of an emitted event: flat port fields and
+// String-form flow keys, so clients parse flows with flowkey.Parse and
+// feed them straight back into /api/query/flow.
+type EventJSON struct {
+	Seq        int      `json:"seq"`
+	Switch     int16    `json:"switch"`
+	Port       int16    `json:"port"`
+	StartNs    int64    `json:"start_ns"`
+	EndNs      int64    `json:"end_ns"`
+	DurationNs int64    `json:"duration_ns"`
+	Packets    int      `json:"packets"`
+	Bytes      int64    `json:"bytes"`
+	Flows      []string `json:"flows"`
+}
+
+// NewEventJSON renders one emitted event in wire form. The daemon reuses
+// it for the JSONL event log, so logged lines and streamed frames are the
+// same shape.
+func NewEventJSON(seq int, ev analyzer.Event) EventJSON {
+	flows := make([]string, len(ev.Flows))
+	for i, f := range ev.Flows {
+		flows[i] = f.String()
+	}
+	return EventJSON{
+		Seq: seq, Switch: ev.Port.Switch, Port: ev.Port.Port,
+		StartNs: ev.StartNs, EndNs: ev.EndNs, DurationNs: ev.EndNs - ev.StartNs,
+		Packets: ev.Packets, Bytes: ev.Bytes, Flows: flows,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (a *API) handleStatus(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	st := a.col.Status()
+	a.mu.Unlock()
+	writeJSON(w, st)
+}
+
+func (a *API) handleHosts(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	hosts := a.col.Status().Hosts
+	a.mu.Unlock()
+	writeJSON(w, struct {
+		Hosts []collect.HostWindow `json:"hosts"`
+	}{hosts})
+}
+
+// QueryFlowResponse answers /api/query/flow.
+type QueryFlowResponse struct {
+	Flow    string    `json:"flow"`
+	From    int64     `json:"from"`
+	To      int64     `json:"to"`
+	Windows []float64 `json:"windows"`
+}
+
+func (a *API) handleQueryFlow(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f, err := flowkey.Parse(q.Get("flow"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	from, err1 := strconv.ParseInt(q.Get("from"), 10, 64)
+	to, err2 := strconv.ParseInt(q.Get("to"), 10, 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "from/to must be window ids", http.StatusBadRequest)
+		return
+	}
+	a.mu.Lock()
+	windows := a.col.QueryFlow(f, from, to)
+	a.mu.Unlock()
+	writeJSON(w, QueryFlowResponse{Flow: f.String(), From: from, To: to, Windows: windows})
+}
+
+// ReplayResponse answers /api/replay: the event plus each flow's
+// per-window byte-count curve, keyed by String-form flow.
+type ReplayResponse struct {
+	Event       EventJSON            `json:"event"`
+	WindowStart int64                `json:"window_start"`
+	Windows     int                  `json:"windows"`
+	Curves      map[string][]float64 `json:"curves"`
+}
+
+func (a *API) handleReplay(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	idx, err := strconv.Atoi(q.Get("event"))
+	if err != nil {
+		http.Error(w, "event must be an index into /api/events", http.StatusBadRequest)
+		return
+	}
+	marginUs := int64(100)
+	if s := q.Get("margin-us"); s != "" {
+		if marginUs, err = strconv.ParseInt(s, 10, 64); err != nil {
+			http.Error(w, "bad margin-us", http.StatusBadRequest)
+			return
+		}
+	}
+	a.mu.Lock()
+	events := a.col.Events()
+	if idx < 0 || idx >= len(events) {
+		a.mu.Unlock()
+		http.Error(w, fmt.Sprintf("event %d of %d", idx, len(events)), http.StatusNotFound)
+		return
+	}
+	view := a.col.Replay(events[idx], marginUs*1000)
+	a.mu.Unlock()
+	resp := ReplayResponse{
+		Event:       NewEventJSON(idx, view.Event),
+		WindowStart: view.WindowStart,
+		Windows:     view.Windows,
+		Curves:      make(map[string][]float64, len(view.Curves)),
+	}
+	for f, c := range view.Curves {
+		resp.Curves[f.String()] = c
+	}
+	writeJSON(w, resp)
+}
+
+// EventsResponse answers a non-follow /api/events: the backlog from
+// ?since= on, and the cursor to resume from.
+type EventsResponse struct {
+	Next   int         `json:"next"`
+	Open   bool        `json:"open"`
+	Events []EventJSON `json:"events"`
+}
+
+func (a *API) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	since := 0
+	if s := q.Get("since"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad since cursor", http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	if _, follow := q["follow"]; follow {
+		a.followEvents(w, r, since)
+		return
+	}
+	var resp EventsResponse
+	if a.hub != nil {
+		evs, next, open := a.hub.Snapshot(since)
+		if waitMs, _ := strconv.Atoi(q.Get("wait_ms")); waitMs > 0 && len(evs) == 0 && open {
+			// Long-poll: hold the request until news, close, or timeout.
+			// Deriving from the request context releases the handler the
+			// moment a client drops.
+			ctx, cancel := context.WithTimeout(r.Context(), time.Duration(waitMs)*time.Millisecond)
+			evs, next, open = a.hub.Wait(ctx, since)
+			cancel()
+		}
+		resp = EventsResponse{Next: next, Open: open}
+		for i, ev := range evs {
+			resp.Events = append(resp.Events, NewEventJSON(since+i, ev))
+		}
+	} else {
+		a.mu.Lock()
+		events := a.col.Events()
+		a.mu.Unlock()
+		if since > len(events) {
+			since = len(events)
+		}
+		resp = EventsResponse{Next: len(events), Open: true}
+		for i, ev := range events[since:] {
+			resp.Events = append(resp.Events, NewEventJSON(since+i, ev))
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// followEvents streams the backlog then live events as Server-Sent Events:
+// one "data:" line of EventJSON per event, id set to the cursor, and a
+// final "event: end" frame when the hub closes (ingest drained).
+func (a *API) followEvents(w http.ResponseWriter, r *http.Request, cursor int) {
+	if a.hub == nil {
+		http.Error(w, "no live event stream on this daemon", http.StatusNotImplemented)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		evs, next, open := a.hub.Wait(r.Context(), cursor)
+		for i, ev := range evs {
+			b, err := json.Marshal(NewEventJSON(cursor+i, ev))
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", cursor+i+1, b)
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		cursor = next
+		if !open {
+			fmt.Fprint(w, "event: end\ndata: {}\n\n")
+			fl.Flush()
+			return
+		}
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+}
+
+// StageSummary condenses one lifecycle-stage histogram.
+type StageSummary struct {
+	Count int64 `json:"count"`
+	SumNs int64 `json:"sum_ns"`
+	P50Ns int64 `json:"p50_le_ns"`
+	P99Ns int64 `json:"p99_le_ns"`
+}
+
+func summarize(h *telemetry.Histogram) StageSummary {
+	return StageSummary{
+		Count: h.Count(), SumNs: h.Sum(),
+		P50Ns: h.Quantile(0.50), P99Ns: h.Quantile(0.99),
+	}
+}
+
+// TraceResponse answers /api/trace/epochs: the raw lifecycle ring plus,
+// when the daemon exports stats, the per-stage latency summaries whose
+// sums reconcile (seal→ship + ship→admit + admit→detect == seal→detect
+// over fully-stamped traces).
+type TraceResponse struct {
+	Traces []collect.EpochTrace    `json:"traces"`
+	Stages map[string]StageSummary `json:"stages,omitempty"`
+}
+
+func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	traces := a.col.Traces()
+	a.mu.Unlock()
+	resp := TraceResponse{Traces: traces}
+	if a.stats != nil {
+		resp.Stages = map[string]StageSummary{
+			"seal_ship":    summarize(a.stats.SealShipNs),
+			"ship_admit":   summarize(a.stats.ShipAdmitNs),
+			"admit_detect": summarize(a.stats.AdmitDetectNs),
+			"seal_detect":  summarize(a.stats.SealDetectNs),
+		}
+	}
+	writeJSON(w, resp)
+}

@@ -1,0 +1,529 @@
+package opsapi
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"umon/internal/analyzer"
+	"umon/internal/collect"
+	"umon/internal/flowkey"
+	"umon/internal/netsim"
+	"umon/internal/report"
+	"umon/internal/telemetry"
+	"umon/internal/uevent"
+	"umon/internal/wavesketch"
+)
+
+func key(i int) flowkey.Key {
+	return flowkey.Key{
+		SrcIP: 0x0a000101 + uint32(i), DstIP: 0x0a000f01,
+		SrcPort: uint16(40000 + i), DstPort: flowkey.RoCEPort, Proto: flowkey.ProtoUDP,
+	}
+}
+
+func mkReport(host int, f flowkey.Key, w int64, v int64) *report.HostReport {
+	s, err := wavesketch.NewBasic(wavesketch.Default(16))
+	if err != nil {
+		panic(err)
+	}
+	s.Update(f, w, v)
+	s.Seal()
+	return report.FromBasic(host, 0, s)
+}
+
+func mirrorAt(sw, port int16, ns int64, f flowkey.Key) uevent.MirrorRecord {
+	return uevent.MirrorRecord{
+		Port:        netsim.PortID{Switch: sw, Port: port},
+		TimestampNs: ns,
+		OrigBytes:   1058,
+		WireBytes:   64,
+		Flow:        f,
+	}
+}
+
+// fixture builds a collector with a populated window, one emitted event,
+// stamped traces, and an API server over it.
+type fixture struct {
+	col   *collect.Collector
+	stats *collect.Stats
+	hub   *Hub
+	mu    *sync.Mutex
+	srv   *httptest.Server
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	stats := collect.NewStats(reg)
+	hub := NewHub()
+	// A deterministic wall clock keeps lifecycle-stage latencies small and
+	// assertable against the synthetic seal/ship stamps below.
+	clock := int64(10_000)
+	col := collect.New(collect.Config{
+		WindowEpochs: 8,
+		GapNs:        50_000,
+		Stats:        stats,
+		OnEvent:      hub.Publish,
+		Now:          func() int64 { clock += 100; return clock },
+	})
+	for e := uint64(0); e < 3; e++ {
+		for h := 0; h < 2; h++ {
+			col.AddStamped(e, mkReport(h, key(h), 10+int64(e), 100*(int64(h)+1)),
+				report.EpochStamp{SealNs: 1_000, ShipNs: 2_000})
+		}
+	}
+	f := key(0)
+	col.AddMirror(mirrorAt(2, 1, 1_000, f))
+	col.AddMirror(mirrorAt(2, 1, 2_000, key(1)))
+	col.AddMirror(mirrorAt(2, 1, 200_000, f))
+	if col.Poll() != 1 {
+		t.Fatal("fixture expected one emitted event")
+	}
+
+	mu := &sync.Mutex{}
+	mux := telemetry.NewMux(reg)
+	New(Config{Collector: col, Mu: mu, Hub: hub, Stats: stats}).Mount(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return &fixture{col: col, stats: stats, hub: hub, mu: mu, srv: srv}
+}
+
+func (fx *fixture) getJSON(t testing.TB, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(fx.srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("GET %s: decode: %v\n%s", path, err, body)
+	}
+}
+
+// TestStatusMatchesInProcess pins the tentpole acceptance: the HTTP answer
+// is the in-process Status, byte-for-byte through JSON.
+func TestStatusMatchesInProcess(t *testing.T) {
+	fx := newFixture(t)
+	var got collect.Status
+	fx.getJSON(t, "/api/status", &got)
+	want := fx.col.Status()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("/api/status = %+v\nwant %+v", got, want)
+	}
+	if got.ResidentReports != 6 || len(got.Hosts) != 2 || !got.HasWatermark {
+		t.Errorf("implausible status %+v", got)
+	}
+}
+
+func TestHostsEndpoint(t *testing.T) {
+	fx := newFixture(t)
+	var got struct {
+		Hosts []collect.HostWindow `json:"hosts"`
+	}
+	fx.getJSON(t, "/api/hosts", &got)
+	if !reflect.DeepEqual(got.Hosts, fx.col.Status().Hosts) {
+		t.Errorf("/api/hosts = %+v", got.Hosts)
+	}
+}
+
+// TestQueryFlowMatchesInProcess round-trips a flow through its String form
+// and checks the remote answer equals the live-window QueryFlow.
+func TestQueryFlowMatchesInProcess(t *testing.T) {
+	fx := newFixture(t)
+	f := key(1)
+	var got QueryFlowResponse
+	fx.getJSON(t, "/api/query/flow?flow="+url.QueryEscape(f.String())+"&from=10&to=14", &got)
+	want := fx.col.QueryFlow(f, 10, 14)
+	if !reflect.DeepEqual(got.Windows, want) {
+		t.Errorf("remote windows %v, in-process %v", got.Windows, want)
+	}
+	if got.Flow != f.String() || got.From != 10 || got.To != 14 {
+		t.Errorf("echo fields = %+v", got)
+	}
+	// Sanity: the fixture actually planted this flow, so the curve is
+	// non-zero somewhere.
+	sum := 0.0
+	for _, v := range want {
+		sum += v
+	}
+	if sum == 0 {
+		t.Fatal("fixture flow invisible — test proves nothing")
+	}
+}
+
+// TestReplayMatchesInProcess checks the remote replay equals the
+// in-process Replay of the same event, curve by curve.
+func TestReplayMatchesInProcess(t *testing.T) {
+	fx := newFixture(t)
+	var got ReplayResponse
+	fx.getJSON(t, "/api/replay?event=0&margin-us=100", &got)
+	events := fx.col.Events()
+	view := fx.col.Replay(events[0], 100_000)
+	if got.WindowStart != view.WindowStart || got.Windows != view.Windows {
+		t.Errorf("span %d+%d, want %d+%d", got.WindowStart, got.Windows, view.WindowStart, view.Windows)
+	}
+	if len(got.Curves) != len(view.Curves) {
+		t.Fatalf("curves %d, want %d", len(got.Curves), len(view.Curves))
+	}
+	for f, want := range view.Curves {
+		if !reflect.DeepEqual(got.Curves[f.String()], want) {
+			t.Errorf("curve %s = %v, want %v", f, got.Curves[f.String()], want)
+		}
+	}
+	if got.Event.Packets != events[0].Packets || got.Event.Switch != 2 {
+		t.Errorf("event echo = %+v", got.Event)
+	}
+}
+
+// TestTraceEndpoint checks the raw ring comes through plus stage summaries
+// that reconcile: seal→ship + ship→admit + admit→detect == seal→detect.
+func TestTraceEndpoint(t *testing.T) {
+	fx := newFixture(t)
+	var got TraceResponse
+	fx.getJSON(t, "/api/trace/epochs", &got)
+	if !reflect.DeepEqual(got.Traces, fx.col.Traces()) {
+		t.Errorf("traces differ from in-process ring")
+	}
+	if len(got.Traces) != 6 {
+		t.Errorf("traced %d epochs, want 6", len(got.Traces))
+	}
+	st := got.Stages
+	if st == nil {
+		t.Fatal("no stage summaries")
+	}
+	// All 6 admitted reports carry seal/ship stamps; only epoch 0's two
+	// traces overlap the emitted event, so the tail stages saw exactly 2.
+	if st["seal_ship"].Count != 6 || st["ship_admit"].Count != 6 {
+		t.Errorf("stamped-stage counts = %d/%d, want 6/6", st["seal_ship"].Count, st["ship_admit"].Count)
+	}
+	if st["admit_detect"].Count != 2 || st["seal_detect"].Count != 2 {
+		t.Errorf("detect-stage counts = %d/%d, want 2/2", st["admit_detect"].Count, st["seal_detect"].Count)
+	}
+	// Per-trace reconciliation over the exported raw records: stages
+	// telescope to the end-to-end latency on every fully-stamped trace.
+	detected := 0
+	for _, tr := range got.Traces {
+		if tr.DetectNs == 0 {
+			continue
+		}
+		detected++
+		stages := (tr.ShipNs - tr.SealNs) + (tr.AdmitNs - tr.ShipNs) + (tr.DetectNs - tr.AdmitNs)
+		if stages != tr.DetectNs-tr.SealNs {
+			t.Errorf("trace %+v: stage sum %d != end-to-end %d", tr, stages, tr.DetectNs-tr.SealNs)
+		}
+	}
+	if detected != 2 {
+		t.Errorf("detected traces = %d, want 2", detected)
+	}
+}
+
+// TestEventsSnapshotAndCursor covers the non-follow path: full backlog,
+// then an empty tail from the returned cursor.
+func TestEventsSnapshotAndCursor(t *testing.T) {
+	fx := newFixture(t)
+	var got EventsResponse
+	fx.getJSON(t, "/api/events", &got)
+	if len(got.Events) != 1 || got.Next != 1 || !got.Open {
+		t.Fatalf("events = %+v", got)
+	}
+	ev := got.Events[0]
+	if ev.Switch != 2 || ev.Port != 1 || ev.StartNs != 1000 || ev.EndNs != 2000 {
+		t.Errorf("event = %+v", ev)
+	}
+	if len(ev.Flows) != 2 {
+		t.Errorf("flows = %v", ev.Flows)
+	}
+	for _, fs := range ev.Flows {
+		if _, err := flowkey.Parse(fs); err != nil {
+			t.Errorf("event flow %q not parseable: %v", fs, err)
+		}
+	}
+	var tail EventsResponse
+	fx.getJSON(t, "/api/events?since=1", &tail)
+	if len(tail.Events) != 0 || tail.Next != 1 {
+		t.Errorf("tail = %+v", tail)
+	}
+}
+
+// TestEventsFollowStreamsLive subscribes over SSE, publishes more events
+// through the live collector, closes the hub, and checks the subscriber
+// saw the complete backlog + live set and then the end frame.
+func TestEventsFollowStreamsLive(t *testing.T) {
+	fx := newFixture(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", fx.srv.URL+"/api/events?follow=", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	type sse struct {
+		id    string
+		event string
+		data  string
+	}
+	frames := make(chan sse, 16)
+	go func() {
+		defer close(frames)
+		sc := bufio.NewScanner(resp.Body)
+		var cur sse
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				cur.id = line[4:]
+			case strings.HasPrefix(line, "event: "):
+				cur.event = line[7:]
+			case strings.HasPrefix(line, "data: "):
+				cur.data = line[6:]
+			case line == "":
+				frames <- cur
+				cur = sse{}
+			}
+		}
+	}()
+
+	next := func() sse {
+		select {
+		case f, ok := <-frames:
+			if !ok {
+				t.Fatal("stream ended early")
+			}
+			return f
+		case <-ctx.Done():
+			t.Fatal("timeout waiting for SSE frame")
+		}
+		panic("unreachable")
+	}
+
+	// Backlog first: the event emitted before the subscriber connected.
+	f0 := next()
+	var ev EventJSON
+	if err := json.Unmarshal([]byte(f0.data), &ev); err != nil {
+		t.Fatalf("frame %+v: %v", f0, err)
+	}
+	if ev.StartNs != 1000 || f0.id != "1" {
+		t.Fatalf("backlog frame = %+v", f0)
+	}
+
+	// Publish more events through the live ingest path (locked, as the
+	// daemon's loop would). Advancing the watermark to 500µs also closes
+	// the fixture's leftover single-mirror cluster at 200µs on sw2.
+	fx.mu.Lock()
+	f := key(2)
+	fx.col.AddMirror(mirrorAt(3, 0, 300_000, f))
+	fx.col.AddMirror(mirrorAt(3, 0, 301_000, f))
+	fx.col.AddMirror(mirrorAt(3, 0, 500_000, f))
+	fx.col.Poll()
+	fx.mu.Unlock()
+
+	f1 := next()
+	if err := json.Unmarshal([]byte(f1.data), &ev); err != nil {
+		t.Fatalf("frame %+v: %v", f1, err)
+	}
+	if ev.StartNs != 200_000 || ev.Switch != 2 || f1.id != "2" {
+		t.Fatalf("live frame 1 = %+v", f1)
+	}
+	f2 := next()
+	if err := json.Unmarshal([]byte(f2.data), &ev); err != nil {
+		t.Fatalf("frame %+v: %v", f2, err)
+	}
+	if ev.StartNs != 300_000 || ev.Switch != 3 || f2.id != "3" {
+		t.Fatalf("live frame 2 = %+v", f2)
+	}
+
+	fx.hub.Close()
+	end := next()
+	if end.event != "end" {
+		t.Fatalf("final frame = %+v, want end", end)
+	}
+}
+
+// TestEventsLongPoll holds a wait_ms request open until a publish lands.
+func TestEventsLongPoll(t *testing.T) {
+	fx := newFixture(t)
+	done := make(chan EventsResponse, 1)
+	go func() {
+		var got EventsResponse
+		fx.getJSON(t, "/api/events?since=1&wait_ms=5000", &got)
+		done <- got
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poller park
+	fx.hub.Publish(analyzer.Event{StartNs: 42, EndNs: 43})
+	select {
+	case got := <-done:
+		if len(got.Events) != 1 || got.Events[0].StartNs != 42 || got.Next != 2 {
+			t.Errorf("long-poll = %+v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll never woke")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	fx := newFixture(t)
+	for path, want := range map[string]int{
+		"/api/query/flow?flow=bogus&from=0&to=1": http.StatusBadRequest,
+		"/api/query/flow?flow=" + url.QueryEscape(key(0).String()): http.StatusBadRequest, // no from/to
+		"/api/replay?event=notanint":                               http.StatusBadRequest,
+		"/api/replay?event=99":                                     http.StatusNotFound,
+		"/api/events?since=x":                                      http.StatusBadRequest,
+	} {
+		resp, err := http.Get(fx.srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestFollowWithoutHub pins the degraded mode: snapshots work, follow 501s.
+func TestFollowWithoutHub(t *testing.T) {
+	col := collect.New(collect.Config{})
+	mux := http.NewServeMux()
+	New(Config{Collector: col}).Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/events?follow=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("follow without hub = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/api/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("snapshot without hub = %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentQueriesDuringIngest races API reads against locked window
+// mutation — the daemon's actual concurrency shape. Run under -race.
+func TestConcurrentQueriesDuringIngest(t *testing.T) {
+	fx := newFixture(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e := uint64(3)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fx.mu.Lock()
+			fx.col.Add(e, mkReport(int(e%4), key(int(e%4)), 10, 100))
+			fx.mu.Unlock()
+			e++
+		}
+	}()
+	paths := []string{
+		"/api/status",
+		"/api/hosts",
+		"/api/query/flow?flow=" + url.QueryEscape(key(0).String()) + "&from=10&to=14",
+		"/api/replay?event=0",
+		"/api/events",
+		"/api/trace/epochs",
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get(fx.srv.URL + paths[(w+i)%len(paths)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d on %s", resp.StatusCode, paths[(w+i)%len(paths)])
+				}
+			}
+		}(w)
+	}
+	// Wait for the query workers (all but the ingester), then stop it.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock between ingest and API")
+	}
+}
+
+// TestHubLossless checks every published event reaches a follower that
+// started late and paused mid-stream.
+func TestHubLossless(t *testing.T) {
+	h := NewHub()
+	const total = 100
+	var got []int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cursor := 0
+		for {
+			evs, next, open := h.Wait(context.Background(), cursor)
+			for _, ev := range evs {
+				got = append(got, ev.StartNs)
+			}
+			cursor = next
+			if !open {
+				return
+			}
+		}
+	}()
+	for i := 0; i < total; i++ {
+		h.Publish(analyzer.Event{StartNs: int64(i)})
+		if i == total/2 {
+			time.Sleep(time.Millisecond) // let the follower catch up mid-stream
+		}
+	}
+	h.Close()
+	<-done
+	if len(got) != total {
+		t.Fatalf("follower saw %d events, want %d", len(got), total)
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("event %d out of order: %d", i, v)
+		}
+	}
+	// Post-close publishes are dropped; snapshots stay stable.
+	h.Publish(analyzer.Event{StartNs: 999})
+	if h.Len() != total {
+		t.Errorf("closed hub grew to %d", h.Len())
+	}
+}

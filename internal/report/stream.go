@@ -54,7 +54,42 @@ const (
 	FrameReport = 1
 	// FrameIndex carries the epoch index a StreamWriter appends at Close.
 	FrameIndex = 2
+	// FrameStamp carries the lifecycle stamp of the preceding report frame
+	// of the same (host, epoch): wall-clock seal and ship times. Readers
+	// that predate it skip it like any unknown type, so stamped streams
+	// stay consumable everywhere.
+	FrameStamp = 3
 )
+
+// stampPayloadLen is the v0 stamp payload: sealUnixNs i64 | shipUnixNs i64.
+const stampPayloadLen = 16
+
+// EpochStamp is the host-side lifecycle record of one sealed report:
+// wall-clock nanoseconds at seal start and at ship completion. A zero
+// field means "not recorded".
+type EpochStamp struct {
+	SealNs int64
+	ShipNs int64
+}
+
+// EncodeStamp renders the stamp as a v0 stamp-frame payload.
+func EncodeStamp(st EpochStamp) []byte {
+	var b [stampPayloadLen]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(st.SealNs))
+	binary.LittleEndian.PutUint64(b[8:], uint64(st.ShipNs))
+	return b[:]
+}
+
+// DecodeStamp parses a v0 stamp-frame payload.
+func DecodeStamp(payload []byte) (EpochStamp, error) {
+	if len(payload) != stampPayloadLen {
+		return EpochStamp{}, fmt.Errorf("report: stamp payload is %d bytes, want %d", len(payload), stampPayloadLen)
+	}
+	return EpochStamp{
+		SealNs: int64(binary.LittleEndian.Uint64(payload[0:])),
+		ShipNs: int64(binary.LittleEndian.Uint64(payload[8:])),
+	}, nil
+}
 
 // Typed stream errors. Readers can match with errors.Is to decide whether
 // to abort (ErrStreamCorrupt: framing lost) or skip and continue (ErrCRC:
@@ -93,6 +128,17 @@ func (f *Frame) Report() (*HostReport, error) {
 		return nil, fmt.Errorf("report: unknown report payload version %d", f.Version)
 	}
 	return Decode(bytes.NewReader(f.Payload))
+}
+
+// Stamp decodes the frame's payload as an EpochStamp.
+func (f *Frame) Stamp() (EpochStamp, error) {
+	if f.Type != FrameStamp {
+		return EpochStamp{}, fmt.Errorf("report: frame type %d is not a stamp", f.Type)
+	}
+	if f.Version != 0 {
+		return EpochStamp{}, fmt.Errorf("report: unknown stamp payload version %d", f.Version)
+	}
+	return DecodeStamp(f.Payload)
 }
 
 // --- writer ---
@@ -158,6 +204,12 @@ func (sw *StreamWriter) writeFrame(typ, payloadVersion uint8, host int, epoch ui
 // HostReport.Encode produced) under (host, epoch).
 func (sw *StreamWriter) WriteEncoded(epoch uint64, host int, payload []byte) error {
 	return sw.writeFrame(FrameReport, 0, host, epoch, payload)
+}
+
+// WriteStamp frames a lifecycle stamp for (host, epoch) — written right
+// after the report frame it describes.
+func (sw *StreamWriter) WriteStamp(epoch uint64, host int, st EpochStamp) error {
+	return sw.writeFrame(FrameStamp, 0, host, epoch, EncodeStamp(st))
 }
 
 // WriteReport encodes r and frames it under epoch.
@@ -257,10 +309,10 @@ func errUnexpected(err error) error {
 	return err
 }
 
-// Next returns the next report frame, reusing f's payload buffer. It
-// returns io.EOF at a clean end of stream (the footer, or EOF exactly on
-// a frame boundary). The returned frame's payload is valid until the
-// next call.
+// Next returns the next decodable frame — a report or a lifecycle stamp
+// (check f.Type) — reusing f's payload buffer. It returns io.EOF at a
+// clean end of stream (the footer, or EOF exactly on a frame boundary).
+// The returned frame's payload is valid until the next call.
 func (sr *StreamReader) Next(f *Frame) error {
 	for {
 		// Frame magic first: a clean EOF here is the end of the stream.
@@ -301,7 +353,7 @@ func (sr *StreamReader) Next(f *Frame) error {
 			return fmt.Errorf("%w: got %#08x want %#08x", ErrCRC, crc, want)
 		}
 		typ, ver := sr.hdr[4], sr.hdr[5]
-		if typ != FrameReport || ver != 0 {
+		if (typ != FrameReport && typ != FrameStamp) || ver != 0 {
 			// Forward compatibility: an unknown frame type or a payload
 			// version this reader cannot decode is skipped, not fatal.
 			sr.skipped++
@@ -344,6 +396,9 @@ func ReadStream(r io.Reader) (reports []EpochReport, badFrames int, err error) {
 		}
 		if err != nil {
 			return reports, badFrames, err
+		}
+		if f.Type != FrameReport {
+			continue // stamps and future metadata frames ride alongside
 		}
 		rep, err := f.Report()
 		if err != nil {

@@ -265,3 +265,95 @@ func TestStreamWriterAccounting(t *testing.T) {
 		t.Errorf("Offset() = %d, buffer has %d", sw.Offset(), buf.Len())
 	}
 }
+
+func TestStreamStampFrames(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []EpochStamp{
+		{SealNs: 1_000, ShipNs: 1_750},
+		{SealNs: 2_000, ShipNs: 2_400},
+	}
+	for e, st := range want {
+		if err := sw.WriteReport(uint64(e), testReport(7, int64(e*1000))); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteStamp(uint64(e), 7, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Stamp frames do not land in the seek index: it locates reports only.
+	idx, err := ReadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 {
+		t.Errorf("index has %d entries, want 2 (stamps must not be indexed)", len(idx))
+	}
+	// The sequential reader surfaces both reports and stamps, interleaved.
+	sr, err := NewStreamReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stamps []EpochStamp
+	var reports int
+	var f Frame
+	for {
+		err := sr.Next(&f)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch f.Type {
+		case FrameReport:
+			reports++
+		case FrameStamp:
+			if f.Host != 7 {
+				t.Errorf("stamp host = %d, want 7", f.Host)
+			}
+			st, err := f.Stamp()
+			if err != nil {
+				t.Fatal(err)
+			}
+			stamps = append(stamps, st)
+		}
+	}
+	if reports != 2 {
+		t.Errorf("saw %d report frames, want 2", reports)
+	}
+	if !reflect.DeepEqual(stamps, want) {
+		t.Errorf("stamps = %+v, want %+v", stamps, want)
+	}
+	if sr.Skipped() != 1 { // the trailing index frame, nothing else
+		t.Errorf("reader skipped %d frames, want 1", sr.Skipped())
+	}
+	// The batch convenience path decodes the reports and ignores stamps.
+	reps, bad, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil || bad != 0 {
+		t.Fatalf("ReadStream: %v (bad %d)", err, bad)
+	}
+	if len(reps) != 2 {
+		t.Errorf("ReadStream decoded %d reports, want 2", len(reps))
+	}
+}
+
+func TestStampCodecErrors(t *testing.T) {
+	if _, err := DecodeStamp([]byte{1, 2, 3}); err == nil {
+		t.Error("short stamp payload must fail")
+	}
+	f := Frame{Type: FrameReport}
+	if _, err := f.Stamp(); err == nil {
+		t.Error("Stamp on a report frame must fail")
+	}
+	f = Frame{Type: FrameStamp, Version: 9}
+	if _, err := f.Stamp(); err == nil {
+		t.Error("unknown stamp payload version must fail")
+	}
+}

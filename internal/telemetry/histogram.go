@@ -81,6 +81,17 @@ func (h *Histogram) snap() Snapshot {
 	return s
 }
 
+// Quantile returns an upper estimate of the q-quantile (q in [0, 1]) from
+// the power-of-two buckets: the upper bound of the bucket where the
+// cumulative count crosses q, so within a factor of 2 of the true value.
+// Returns 0 on a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	return quantileLe(h.snap(), q)
+}
+
 // TimeHistogram starts a wall-clock measurement destined for h: the
 // returned func observes the elapsed nanoseconds when called. A nil
 // histogram returns a no-op closure without touching the clock, so the

@@ -1,15 +1,57 @@
 package telemetry
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/debug"
 	"time"
 )
 
+// Health is the /healthz answer: a liveness "ok" plus enough build identity
+// to tell which binary is answering. Scripts poll it instead of sleeping
+// for "long enough" after starting a daemon.
+type Health struct {
+	Status    string `json:"status"`
+	PID       int    `json:"pid"`
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	VCS       string `json:"vcs_revision,omitempty"`
+	UptimeSec int64  `json:"uptime_sec"`
+}
+
+// processStart anchors UptimeSec; good enough for liveness reporting.
+var processStart = time.Now()
+
+func healthz(w http.ResponseWriter, _ *http.Request) {
+	h := Health{
+		Status:    "ok",
+		PID:       os.Getpid(),
+		GoVersion: runtime.Version(),
+		UptimeSec: int64(time.Since(processStart).Seconds()),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		h.Module = bi.Main.Path
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				h.VCS = s.Value
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h)
+}
+
 // NewMux returns the introspection mux:
 //
+//	/healthz        liveness + build identity (JSON)
 //	/metrics        Prometheus text exposition
 //	/vars           expvar-style JSON
 //	/debug/pprof/*  net/http/pprof (profile, heap, goroutine, trace, …)
@@ -18,6 +60,7 @@ import (
 // metrics and profiling without touching http.DefaultServeMux.
 func NewMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", healthz)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
@@ -56,17 +99,33 @@ func (s *Server) Close() error {
 	return s.srv.Close()
 }
 
+// Shutdown drains the server gracefully: in-flight responses (including a
+// long-poll on /api/events) get until ctx expires to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
 // Serve starts the introspection endpoint on addr (e.g. ":9151" or
 // "127.0.0.1:0") in a background goroutine and returns immediately. The
 // caller owns the returned Server and should Close it on exit; a process
 // that exits right after its run loop can also just let it die with the
 // process — the endpoint exists to be curled *during* the run.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeHandler(addr, NewMux(reg))
+}
+
+// ServeHandler is Serve with a caller-built handler — the path for daemons
+// that mount extra routes (an ops API) on the introspection mux before
+// starting it.
+func ServeHandler(addr string, handler http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{srv: srv, ln: ln}, nil
 }

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"strings"
@@ -163,6 +164,17 @@ func TestHistogramBucketsAndQuantiles(t *testing.T) {
 	if q := quantileLe(s, 0.99); q != 1023 {
 		t.Errorf("p99 ≤ %d, want 1023", q)
 	}
+	// The exported Quantile wraps the same estimator.
+	if q := h.Quantile(0.50); q != 1 {
+		t.Errorf("Quantile(0.5) = %d, want 1", q)
+	}
+	if q := h.Quantile(0.99); q != 1023 {
+		t.Errorf("Quantile(0.99) = %d, want 1023", q)
+	}
+	var nilH *Histogram
+	if q := nilH.Quantile(0.5); q != 0 {
+		t.Errorf("nil Quantile = %d, want 0", q)
+	}
 }
 
 func TestConcurrentWrites(t *testing.T) {
@@ -206,6 +218,40 @@ func TestTracerRecordsStages(t *testing.T) {
 	tr.Start(`we"ird stage`).End()
 	if n := r.Value(`umon_stage_runs_total{stage="we_ird_stage"}`); n != 1 {
 		t.Errorf("sanitized stage missing, got %d", n)
+	}
+}
+
+// TestTracerConcurrent hammers one Tracer from many goroutines mixing a
+// shared stage name (races on the lazy stageFor registration) with
+// per-goroutine names, and checks no span is lost. Run under -race.
+func TestTracerConcurrent(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r)
+	const workers, spans = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < spans; i++ {
+				sp := tr.Start("shared_stage")
+				sp.End()
+				tr.Start(string(rune('a'+w)) + "_stage").End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := r.Value(`umon_stage_runs_total{stage="shared_stage"}`); n != workers*spans {
+		t.Errorf("shared stage runs = %d, want %d", n, workers*spans)
+	}
+	if n := r.Value(`umon_stage_wall_ns{stage="shared_stage"}`); n != workers*spans {
+		t.Errorf("shared stage wall observations = %d, want %d", n, workers*spans)
+	}
+	for w := 0; w < workers; w++ {
+		name := `umon_stage_runs_total{stage="` + string(rune('a'+w)) + `_stage"}`
+		if n := r.Value(name); n != spans {
+			t.Errorf("%s = %d, want %d", name, n, spans)
+		}
 	}
 }
 
@@ -289,5 +335,47 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if out := get("/debug/pprof/cmdline"); len(out) == 0 {
 		t.Error("pprof cmdline empty")
+	}
+	out := get("/healthz")
+	for _, want := range []string{`"status": "ok"`, `"pid"`, `"go_version"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/healthz missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeHandlerAndShutdown checks the extended-mux path: extra routes
+// mounted beside the stock ones, then a graceful Shutdown.
+func TestServeHandlerAndShutdown(t *testing.T) {
+	r := NewRegistry()
+	mux := NewMux(r)
+	mux.HandleFunc("/api/ping", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "pong")
+	})
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/api/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "pong" {
+		t.Errorf("custom route answered %q", b)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/api/ping"); err == nil {
+		t.Error("server still answering after Shutdown")
+	}
+	// Nil-receiver contract.
+	var nilSrv *Server
+	if err := nilSrv.Shutdown(ctx); err != nil {
+		t.Errorf("nil Shutdown: %v", err)
 	}
 }
