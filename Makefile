@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-accuracy bench-micro bench-ingest bench-baseline bench-query bench-query-baseline bench-query-api bench-sim bench-sim-baseline bench-mirror bench-mirror-baseline perf-gate fuzz-seed vet stream-demo ops-smoke
+.PHONY: build test test-short test-race bench bench-accuracy bench-micro bench-ingest bench-baseline bench-query bench-query-baseline bench-query-api bench-query-scale bench-sim bench-sim-baseline bench-mirror bench-mirror-baseline perf-gate fuzz-seed vet stream-demo ops-smoke
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,7 @@ test-race:
 	$(GO) test -race ./internal/packet
 	$(GO) test -race ./internal/report -run 'TestStream|FuzzReportStream'
 	$(GO) test -race ./internal/core -run 'TestStream'
-	$(GO) test -race ./internal/collect
+	$(GO) test -race -short ./internal/collect
 	$(GO) test -race ./internal/opsapi
 	$(GO) test -race ./cmd/umon-collect
 	$(GO) test -race ./cmd/umonctl
@@ -106,7 +106,28 @@ QUERY_API_BENCH = QueryFlowAPI|ReplayAPI|StatusAPI
 bench-query-api:
 	$(GO) test -run XXX -bench '$(QUERY_API_BENCH)' -benchtime 2s -count 5 \
 		./internal/opsapi | tee bench-query-api.txt
-	$(GO) run ./cmd/benchjson -o BENCH_query.json bench-query-api.txt
+	@if [ -f bench-query-scale.txt ]; then \
+		$(GO) run ./cmd/benchjson -o BENCH_query.json bench-query-api.txt bench-query-scale.txt; \
+	else \
+		$(GO) run ./cmd/benchjson -o BENCH_query.json bench-query-api.txt; \
+	fi
+
+# Fleet-scale query-plane benchmarks: 2,000 (host,epoch) reports holding
+# >1M distinct flow keys, queried concurrently through the routing index
+# (QueryScaleFlow) and the linear-scan baseline (QueryScaleFlowScan), plus
+# event replay and a mixed read/write run with ingest republishing
+# snapshots mid-query. Each benchmark reports p50-ns/p99-ns/qps via
+# b.ReportMetric; benchjson folds them into BENCH_query.json alongside the
+# ops-API numbers (metrics map). Refresh together with bench-query-api.
+QUERY_SCALE_BENCH = QueryScale
+bench-query-scale:
+	$(GO) test -run XXX -bench '$(QUERY_SCALE_BENCH)' -benchtime 1s -count 3 \
+		./internal/collect | tee bench-query-scale.txt
+	@if [ -f bench-query-api.txt ]; then \
+		$(GO) run ./cmd/benchjson -o BENCH_query.json bench-query-api.txt bench-query-scale.txt; \
+	else \
+		$(GO) run ./cmd/benchjson -o BENCH_query.json bench-query-scale.txt; \
+	fi
 
 # Event-engine scheduling latency (ns/op, allocs): timing wheel vs the
 # in-tree heap oracle at several pending-event counts, the typed DCQCN
@@ -154,23 +175,31 @@ bench-mirror-baseline:
 	$(GO) test -run XXX -bench '$(MIRROR_BENCH)' -benchtime 2s -count 5 \
 		./internal/mbuf ./internal/pcapio ./internal/packet ./internal/analyzer | tee bench-mirror.base.txt
 
-# CI performance gate: re-run the mirror-datapath and ops-API benchmarks
-# (shorter settings than bench-mirror/bench-query-api — the 25% threshold
-# absorbs the extra noise), convert to benchjson, and fail if any
-# benchmark named in the committed BENCH_mirror.json / BENCH_query.json
-# baselines regressed in ns/op by more than PERF_GATE_THRESHOLD percent
-# or went missing. Refresh the baselines with `make bench-mirror` and
-# `make bench-query-api` after a deliberate perf change.
+# CI performance gate: re-run the mirror-datapath, ops-API, and
+# fleet-scale query benchmarks (shorter settings than their bench-*
+# targets — the 25% threshold absorbs the extra noise), convert to
+# benchjson, and fail if any benchmark named in the committed
+# BENCH_mirror.json / BENCH_query.json baselines regressed in ns/op by
+# more than PERF_GATE_THRESHOLD percent or went missing. Refresh the
+# baselines with `make bench-mirror`, `make bench-query-api`, and
+# `make bench-query-scale` after a deliberate perf change. The over-HTTP
+# ops-API benchmarks ride the full loopback TCP stack and swing far more
+# run-to-run than the in-process ones, so they get their own wider
+# threshold.
 PERF_GATE_THRESHOLD ?= 25
+PERF_GATE_API_THRESHOLD ?= 60
 perf-gate:
 	$(GO) test -run XXX -bench '$(MIRROR_BENCH)' -benchtime 1s -count 3 \
 		./internal/mbuf ./internal/pcapio ./internal/packet ./internal/analyzer | tee bench-gate.txt
 	$(GO) run ./cmd/benchjson -o bench-gate.json bench-gate.txt
 	$(GO) run ./cmd/benchgate -old BENCH_mirror.json -new bench-gate.json -threshold $(PERF_GATE_THRESHOLD)
-	$(GO) test -run XXX -bench '$(QUERY_API_BENCH)' -benchtime 1s -count 3 \
+	$(GO) test -run XXX -bench '$(QUERY_API_BENCH)' -benchtime 2s -count 3 \
 		./internal/opsapi | tee bench-query-gate.txt
+	$(GO) test -run XXX -bench '$(QUERY_SCALE_BENCH)' -benchtime 1s -count 2 \
+		./internal/collect | tee -a bench-query-gate.txt
 	$(GO) run ./cmd/benchjson -o bench-query-gate.json bench-query-gate.txt
-	$(GO) run ./cmd/benchgate -old BENCH_query.json -new bench-query-gate.json -threshold $(PERF_GATE_THRESHOLD)
+	$(GO) run ./cmd/benchgate -old BENCH_query.json -new bench-query-gate.json -bench 'API$$' -threshold $(PERF_GATE_API_THRESHOLD)
+	$(GO) run ./cmd/benchgate -old BENCH_query.json -new bench-query-gate.json -bench QueryScale -threshold $(PERF_GATE_THRESHOLD)
 
 # End-to-end streaming demo: simulate an incast on the dumbbell while the
 # hosts seal epoch-rotated reports into one framed stream, then run the

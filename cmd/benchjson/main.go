@@ -7,6 +7,12 @@
 //
 //	go test -bench . | benchjson -o BENCH.json
 //	benchjson -o BENCH.json bench-mirror.txt
+//	benchjson -o BENCH.json bench-api.txt bench-scale.txt
+//
+// Multiple input files are concatenated, so one JSON document can fold
+// together benchmark runs from several packages. Custom units emitted via
+// b.ReportMetric (for example p50-ns, p99-ns, qps) land in each result's
+// "metrics" map, aggregated by median like the standard columns.
 package main
 
 import (
@@ -37,6 +43,9 @@ type Result struct {
 	// reported (-benchmem or b.ReportAllocs).
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds medians of any custom b.ReportMetric units the
+	// benchmark emitted (e.g. "p50-ns", "p99-ns", "qps").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -51,6 +60,7 @@ type sample struct {
 	mbPerS      *float64
 	bytesPerOp  *float64
 	allocsPerOp *float64
+	metrics     map[string]float64
 }
 
 // parseLine parses one "BenchmarkX-8  N  12.3 ns/op ..." line; ok is
@@ -86,6 +96,11 @@ func parseLine(line string) (name string, s sample, ok bool) {
 			s.bytesPerOp = &v
 		case "allocs/op":
 			s.allocsPerOp = &v
+		default:
+			if s.metrics == nil {
+				s.metrics = map[string]float64{}
+			}
+			s.metrics[fields[i+1]] = v
 		}
 	}
 	if s.nsPerOp == 0 && len(fields) == 2 {
@@ -130,6 +145,7 @@ func aggregate(r io.Reader) ([]Result, error) {
 		ss := samples[name]
 		res := Result{Name: name, Runs: len(ss)}
 		var ns, iters, mbs, bys, als []float64
+		metricSamples := map[string][]float64{}
 		for _, s := range ss {
 			ns = append(ns, s.nsPerOp)
 			iters = append(iters, float64(s.iters))
@@ -141,6 +157,9 @@ func aggregate(r io.Reader) ([]Result, error) {
 			}
 			if s.allocsPerOp != nil {
 				als = append(als, *s.allocsPerOp)
+			}
+			for unit, v := range s.metrics {
+				metricSamples[unit] = append(metricSamples[unit], v)
 			}
 		}
 		res.NsPerOp = median(ns)
@@ -155,6 +174,12 @@ func aggregate(r io.Reader) ([]Result, error) {
 		if len(als) > 0 {
 			v := median(als)
 			res.AllocsPerOp = &v
+		}
+		if len(metricSamples) > 0 {
+			res.Metrics = make(map[string]float64, len(metricSamples))
+			for unit, vs := range metricSamples {
+				res.Metrics[unit] = median(vs)
+			}
 		}
 		results = append(results, res)
 	}
@@ -180,13 +205,17 @@ func main() {
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
+		readers := make([]io.Reader, 0, flag.NArg())
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			readers = append(readers, f)
 		}
-		defer f.Close()
-		in = f
+		in = io.MultiReader(readers...)
 	}
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {

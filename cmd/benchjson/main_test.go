@@ -73,6 +73,28 @@ func TestAggregateMedians(t *testing.T) {
 	}
 }
 
+func TestCustomMetricsAggregated(t *testing.T) {
+	const withMetrics = `BenchmarkQueryScaleFlow-8 	 100 	 76450 ns/op 	 65712 p50-ns 	 166185 p99-ns 	 13080 qps
+BenchmarkQueryScaleFlow-8 	 100 	 80000 ns/op 	 67000 p50-ns 	 170000 p99-ns 	 12500 qps
+BenchmarkQueryScaleFlow-8 	 100 	 75000 ns/op 	 64000 p50-ns 	 160000 p99-ns 	 13300 qps
+`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(withMetrics), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %d, want 1", len(rep.Benchmarks))
+	}
+	m := rep.Benchmarks[0].Metrics
+	if m["p50-ns"] != 65712 || m["p99-ns"] != 166185 || m["qps"] != 13080 {
+		t.Errorf("metrics = %v", m)
+	}
+}
+
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(strings.NewReader("no benchmarks here\n"), &out); err == nil {

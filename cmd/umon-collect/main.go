@@ -180,9 +180,11 @@ type runSummary struct {
 
 func run(ctx context.Context, opt options, reg *telemetry.Registry) error {
 	stats := collect.NewStats(reg)
-	// The collector is single-goroutine; the two ingest loops (reports,
-	// mirrors) and the ops API handlers all serialize on this mutex.
-	// Events print from whichever loop closes them.
+	// The collector's mutators are single-writer: the two ingest loops
+	// (reports, mirrors) serialize on this mutex. Reads — the ops API
+	// handlers and the end-of-run summary — go through the collector's
+	// lock-free snapshot plane and never take it. Events print from
+	// whichever loop closes them.
 	var mu sync.Mutex
 	hub := opsapi.NewHub()
 
@@ -223,7 +225,7 @@ func run(ctx context.Context, opt options, reg *telemetry.Registry) error {
 	var srv *telemetry.Server
 	if opt.telemetryAddr != "" {
 		mux := telemetry.NewMux(reg)
-		opsapi.New(opsapi.Config{Collector: c, Mu: &mu, Hub: hub, Stats: stats}).Mount(mux)
+		opsapi.New(opsapi.Config{Collector: c, Hub: hub, Stats: stats}).Mount(mux)
 		var err error
 		if srv, err = telemetry.ServeHandler(opt.telemetryAddr, mux); err != nil {
 			return err
@@ -384,8 +386,8 @@ func run(ctx context.Context, opt options, reg *telemetry.Registry) error {
 	// before the server shuts down gracefully.
 	mu.Lock()
 	events := c.Drain()
-	epochs, resident := c.Window()
 	mu.Unlock()
+	epochs, resident := c.Window()
 	hub.Close()
 
 	fmt.Fprintf(opt.out, "ingested      %d epoch reports (%d bad), %d mirrors (%d bad)\n",
@@ -425,9 +427,7 @@ func run(ctx context.Context, opt options, reg *telemetry.Registry) error {
 				best = ev
 			}
 		}
-		mu.Lock()
 		view := c.Replay(best, 250_000)
-		mu.Unlock()
 		var mass float64
 		for _, curve := range view.Curves {
 			for _, v := range curve {

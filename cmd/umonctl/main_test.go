@@ -66,7 +66,7 @@ func startDaemon(t *testing.T) (addr string, col *collect.Collector, hub *opsapi
 
 	mu = &sync.Mutex{}
 	mux := telemetry.NewMux(reg)
-	opsapi.New(opsapi.Config{Collector: col, Mu: mu, Hub: hub, Stats: stats}).Mount(mux)
+	opsapi.New(opsapi.Config{Collector: col, Hub: hub, Stats: stats}).Mount(mux)
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return strings.TrimPrefix(srv.URL, "http://"), col, hub, mu
@@ -85,7 +85,8 @@ func TestCtlStatus(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut)
 	}
-	for _, want := range []string{"window", "6 reports", "watermark   0.200ms", "events      1 emitted", "2 reporting"} {
+	for _, want := range []string{"window", "6 reports", "watermark   0.200ms", "events      1 emitted", "2 reporting",
+		"snapshot    v", "routing     no flow queries yet"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("status output missing %q:\n%s", want, out)
 		}

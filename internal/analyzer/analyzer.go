@@ -50,9 +50,11 @@ func (e *Event) String() string {
 // Analyzer accumulates measurement inputs.
 type Analyzer struct {
 	reports []*report.Queryable
-	// heavyReports routes a flow to the reports that carry a dedicated
-	// heavy entry for it (ascending report positions, by construction).
-	heavyReports map[flowkey.Key][]int
+	// routes is the window-global flow→report routing index: exact heavy
+	// postings plus the merged non-empty-bucket bitmaps of every report,
+	// grouped by sketch geometry (see report.RouteGroups). Built in place
+	// on AddQueryable — ingest everything first, then query.
+	routes *report.RouteGroups
 	// clusters folds the mirror stream into per-port events as it arrives.
 	clusters    map[netsim.PortID]*portClusterer
 	mirrorCount int
@@ -70,7 +72,7 @@ type Analyzer struct {
 // New returns an empty analyzer.
 func New() *Analyzer {
 	return &Analyzer{
-		heavyReports:  make(map[flowkey.Key][]int),
+		routes:        &report.RouteGroups{},
 		clusters:      make(map[netsim.PortID]*portClusterer),
 		gapNs:         defaultGapNs,
 		switchOffsets: make(map[int16]int64),
@@ -98,14 +100,12 @@ func (a *Analyzer) AddReport(r *report.HostReport) {
 }
 
 // AddQueryable ingests an already-indexed report (reports can be decoded
-// and indexed in parallel, then handed over in deterministic order).
+// and indexed in parallel, then handed over in deterministic order) and
+// folds it into the flow→report routing index.
 func (a *Analyzer) AddQueryable(q *report.Queryable) {
 	q.SetStats(a.stats.Decode)
-	pos := len(a.reports)
 	a.reports = append(a.reports, q)
-	for _, f := range q.HeavyFlows() {
-		a.heavyReports[f] = append(a.heavyReports[f], pos)
-	}
+	a.routes.Append(q)
 }
 
 // Reports reports how many host reports have been ingested.
@@ -230,14 +230,22 @@ func (a *Analyzer) QueryFlow(f flowkey.Key, from, to int64) []float64 {
 	}
 	a.stats.Queries.Inc()
 	out := make([]float64, to-from)
-	for _, ri := range a.routeFlow(f, nil) {
-		cur := a.reports[ri].QueryRange(f, from, to)
-		for i, v := range cur {
+	ip := routeIDsPool.Get().(*[]int)
+	ids := a.routeFlow(f, (*ip)[:0])
+	bp := curvePool.Get().(*[]float64)
+	buf := *bp
+	for _, ri := range ids {
+		buf = a.reports[ri].QueryRangeInto(buf[:0], f, from, to)
+		for i, v := range buf {
 			if v > out[i] {
 				out[i] = v
 			}
 		}
 	}
+	*bp = buf
+	curvePool.Put(bp)
+	*ip = ids
+	routeIDsPool.Put(ip)
 	return out
 }
 

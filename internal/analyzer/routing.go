@@ -1,35 +1,37 @@
 package analyzer
 
-import "umon/internal/flowkey"
+import (
+	"sync"
 
-// routeFlow appends to dst the positions of the reports that can answer a
-// non-zero estimate for f: the ones holding a dedicated heavy entry (from
-// the analyzer-level index, no hashing needed) plus the ones whose
-// non-empty-bucket bitmaps cover the flow in every row. Skipped reports
-// would contribute an identically-zero curve to QueryFlow's max-merge, so
-// routing never changes a query result.
+	"umon/internal/flowkey"
+)
+
 // RoutedReports reports how many host reports a query for f would touch —
 // the routing index's selectivity, for observability and experiments.
 func (a *Analyzer) RoutedReports(f flowkey.Key) int {
 	return len(a.routeFlow(f, nil))
 }
 
+// routeFlow appends to dst the positions of the reports that can answer a
+// non-zero estimate for f: the ones holding a dedicated heavy entry plus
+// the ones whose non-empty-bucket bitmaps cover the flow in every row —
+// one RouteGroups probe (the flow hashed once per geometry, not once per
+// report) instead of a MightSee scan over every report. Skipped reports
+// would contribute an identically-zero curve to QueryFlow's max-merge, so
+// routing never changes a query result.
 func (a *Analyzer) routeFlow(f flowkey.Key, dst []int) []int {
 	before := len(dst)
-	hs := a.heavyReports[f]
-	hi := 0
-	for ri, q := range a.reports {
-		if hi < len(hs) && hs[hi] == ri {
-			dst = append(dst, ri)
-			hi++
-			continue
-		}
-		if q.MightSee(f) {
-			dst = append(dst, ri)
-		}
-	}
+	dst = a.routes.Route(f, dst)
 	visited := int64(len(dst) - before)
 	a.stats.ReportsVisited.Add(visited)
 	a.stats.ReportsSkipped.Add(int64(len(a.reports)) - visited)
 	return dst
 }
+
+// Pools backing the query hot loop (queries run concurrently under
+// Replay's fan-out): routed-position scratch and per-report result
+// buffers.
+var (
+	routeIDsPool = sync.Pool{New: func() any { return new([]int) }}
+	curvePool    = sync.Pool{New: func() any { return new([]float64) }}
+)

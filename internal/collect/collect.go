@@ -8,9 +8,15 @@
 // The collector is the daemon counterpart of the batch analyzer: the
 // analyzer ingests everything then answers queries; the collector admits
 // and evicts under a memory budget and keeps answering while ingest runs.
-// A Collector is single-goroutine: one owner calls the ingest and query
-// methods (the daemon's event loop); concurrent use needs external
-// serialization.
+//
+// Concurrency model: mutators (Add*, Stamp, Poll, Drain, the Ingest*
+// loops) are single-writer — one owner goroutine, or external
+// serialization across several. Every read — QueryFlow, Replay, Events,
+// Window, Status, Traces, Snapshot — is lock-free and safe to call from
+// any number of goroutines concurrently with ingest: mutators publish an
+// immutable window Snapshot through an atomic pointer and readers load
+// it, so a slow query can never stall admission and query throughput
+// scales across cores (see snapshot.go).
 package collect
 
 import (
@@ -19,14 +25,14 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"umon/internal/analyzer"
 	"umon/internal/flowkey"
 	"umon/internal/mbuf"
-	"umon/internal/measure"
 	"umon/internal/packet"
-	"umon/internal/parallel"
 	"umon/internal/pcapio"
 	"umon/internal/report"
 	"umon/internal/uevent"
@@ -69,37 +75,43 @@ type Config struct {
 // defaultTraceCap bounds the lifecycle ring when the caller does not.
 const defaultTraceCap = 4096
 
-// epochReports is one epoch's resident reports, keyed by host.
-type epochReports map[int]*report.Queryable
-
 // Collector is the long-lived analysis daemon state.
 type Collector struct {
 	cfg   Config
 	an    *analyzer.Analyzer
 	stats Stats
 
-	window map[uint64]epochReports
-	epochs []uint64 // admitted epochs, ascending
-	// floor rejects reports for epochs the window already slid past.
-	floor    uint64
-	resident int
+	// snap is the published window: readers Load it, mutators build a
+	// successor and Store it. version is the mutator-owned publication
+	// counter behind Snapshot.Version.
+	snap    atomic.Pointer[Snapshot]
+	version int64
 
 	// watermark is the max mirror timestamp ingested; trimNs is the horizon
 	// below which mirrors are late (their events already emitted).
-	watermark int64
+	watermark atomic.Int64
 	draining  bool
 	trimNs    int64
 	sincePoll int
-	events    []analyzer.Event
+	// events is the mutator-owned emission log. It is append-only and its
+	// header is copied into each published Snapshot, so readers see a
+	// stable prefix without copying.
+	events []analyzer.Event
 
-	// traces is the bounded epoch-lifecycle ring (nil when disabled); now
-	// is the wall clock stamping admit/detect.
-	traces *traceRing
-	now    func() int64
+	// traces is the bounded epoch-lifecycle ring (nil when disabled),
+	// guarded by traceMu now that Traces/Status read concurrently with
+	// ingest; now is the wall clock stamping admit/detect.
+	traceMu sync.Mutex
+	traces  *traceRing
+	now     func() int64
 
 	// Plain ingest accounting (telemetry-independent, for Status).
-	reportsIn int64
-	mirrorsIn int64
+	reportsIn atomic.Int64
+	mirrorsIn atomic.Int64
+	// Routing selectivity: reports visited vs skipped by the routing index
+	// across all queries, including queries against held snapshots.
+	routeVisited atomic.Int64
+	routeSkipped atomic.Int64
 }
 
 // New builds a collector.
@@ -111,12 +123,11 @@ func New(cfg Config) *Collector {
 		cfg.GapNs = 50_000
 	}
 	c := &Collector{
-		cfg:       cfg,
-		an:        analyzer.New(),
-		window:    make(map[uint64]epochReports),
-		watermark: math.MinInt64,
-		now:       cfg.Now,
+		cfg: cfg,
+		an:  analyzer.New(),
+		now: cfg.Now,
 	}
+	c.watermark.Store(math.MinInt64)
 	if c.now == nil {
 		c.now = func() int64 { return time.Now().UnixNano() }
 	}
@@ -129,8 +140,33 @@ func New(cfg Config) *Collector {
 	if cfg.Stats != nil {
 		c.stats = *cfg.Stats
 	}
+	// Publish the empty window so readers never see a nil snapshot. The
+	// initial version is 0 with no wall stamp; the first mutation publishes
+	// version 1.
+	s0 := &Snapshot{visited: &c.routeVisited, skipped: &c.routeSkipped, stats: c.stats}
+	c.snap.Store(s0)
 	return c
 }
+
+// publish stamps and stores ns as the live snapshot. Mutator-only; nowNs
+// is the wall stamp already taken by the mutation (admit or detect), so
+// publication adds no extra clock reads.
+func (c *Collector) publish(ns *Snapshot, nowNs int64) {
+	c.version++
+	ns.version = c.version
+	ns.publishNs = nowNs
+	ns.visited = &c.routeVisited
+	ns.skipped = &c.routeSkipped
+	ns.stats = c.stats
+	c.stats.SnapshotVersion.Set(ns.version)
+	c.stats.SnapshotPublishNs.Set(ns.publishNs)
+	c.snap.Store(ns)
+}
+
+// Snapshot returns the current published window view. The caller may hold
+// it for as long as it likes: its answers stay fixed while ingest keeps
+// publishing successors.
+func (c *Collector) Snapshot() *Snapshot { return c.snap.Load() }
 
 // Add admits one decoded host report into the (host, epoch) window,
 // evicting the oldest epoch if the window is over budget. Reports for
@@ -142,7 +178,8 @@ func (c *Collector) Add(epoch uint64, rep *report.HostReport) {
 // AddStamped admits one decoded host report carrying its seal/ship
 // lifecycle stamp (zero stamp = unstamped legacy input).
 func (c *Collector) AddStamped(epoch uint64, rep *report.HostReport, st report.EpochStamp) {
-	if epoch < c.floor {
+	cur := c.snap.Load()
+	if epoch < cur.floor {
 		c.stats.LateReports.Inc()
 		return
 	}
@@ -151,27 +188,42 @@ func (c *Collector) AddStamped(epoch uint64, rep *report.HostReport, st report.E
 	if c.cfg.DecodeBudget > 0 {
 		q.SetDecodeBudget(c.cfg.DecodeBudget)
 	}
-	er := c.window[epoch]
-	if er == nil {
-		er = make(epochReports)
-		c.window[epoch] = er
-		i := sort.Search(len(c.epochs), func(i int) bool { return c.epochs[i] >= epoch })
-		c.epochs = append(c.epochs, 0)
-		copy(c.epochs[i+1:], c.epochs[i:])
-		c.epochs[i] = epoch
+	// Copy-on-write admit: fresh spine slices, and only the touched epoch's
+	// index rebuilt or extended — every other epochIndex is shared with the
+	// outgoing snapshot, which keeps serving readers untouched.
+	ns := &Snapshot{
+		floor:    cur.floor,
+		resident: cur.resident,
+		epochs:   append([]uint64(nil), cur.epochs...),
+		eps:      append([]*epochIndex(nil), cur.eps...),
+		events:   c.events,
+	}
+	i := sort.Search(len(ns.epochs), func(i int) bool { return ns.epochs[i] >= epoch })
+	if i < len(ns.epochs) && ns.epochs[i] == epoch {
+		ei, added := ns.eps[i].withReport(rep.Host, q)
+		ns.eps[i] = ei
+		if added {
+			ns.resident++
+		}
+	} else {
+		ns.epochs = append(ns.epochs, 0)
+		copy(ns.epochs[i+1:], ns.epochs[i:])
+		ns.epochs[i] = epoch
+		ns.eps = append(ns.eps, nil)
+		copy(ns.eps[i+1:], ns.eps[i:])
+		ns.eps[i] = newEpochIndex(epoch, rep.Host, q)
+		ns.resident++
 		c.stats.EpochsIngested.Inc()
 	}
-	if er[rep.Host] == nil {
-		c.resident++
-	}
-	er[rep.Host] = q
-	c.reportsIn++
+	c.reportsIn.Add(1)
 	c.stats.ReportsIngested.Inc()
-	c.noteAdmit(rep.Host, epoch, st, c.now())
-	for c.cfg.WindowEpochs > 0 && len(c.epochs) > c.cfg.WindowEpochs {
-		c.evictOldest()
+	admitNs := c.now()
+	c.noteAdmit(rep.Host, epoch, st, admitNs)
+	for c.cfg.WindowEpochs > 0 && len(ns.epochs) > c.cfg.WindowEpochs {
+		c.evictOldest(ns)
 	}
-	c.stats.WindowResident.Set(int64(c.resident))
+	c.stats.WindowResident.Set(int64(ns.resident))
+	c.publish(ns, admitNs)
 }
 
 // AddEncoded decodes one framed report payload and admits it.
@@ -191,14 +243,18 @@ func (c *Collector) Stamp(host int, epoch uint64, st report.EpochStamp) {
 	c.noteStamp(host, epoch, st)
 }
 
-func (c *Collector) evictOldest() {
-	oldest := c.epochs[0]
-	c.epochs = c.epochs[1:]
-	n := len(c.window[oldest])
-	delete(c.window, oldest)
-	c.resident -= n
+// evictOldest drops the oldest epoch from the not-yet-published successor
+// snapshot. Admit and evict land in one publication, so readers never see
+// an over-budget window.
+func (c *Collector) evictOldest(ns *Snapshot) {
+	oldest := ns.epochs[0]
+	n := len(ns.eps[0].qs)
+	ns.eps[0] = nil // release before re-slicing: don't pin the evicted index
+	ns.epochs = ns.epochs[1:]
+	ns.eps = ns.eps[1:]
+	ns.resident -= n
 	c.stats.Evictions.Add(int64(n))
-	c.floor = oldest + 1
+	ns.floor = oldest + 1
 }
 
 // IngestStream drains one epoch-rotated report stream into the window,
@@ -267,10 +323,10 @@ func (c *Collector) AddMirror(m uevent.MirrorRecord) {
 		return
 	}
 	c.an.AddMirror(m)
-	c.mirrorsIn++
+	c.mirrorsIn.Add(1)
 	c.stats.MirrorsIngested.Inc()
-	if m.TimestampNs > c.watermark {
-		c.watermark = m.TimestampNs
+	if m.TimestampNs > c.watermark.Load() {
+		c.watermark.Store(m.TimestampNs)
 	}
 	if c.sincePoll++; c.sincePoll >= pollEvery {
 		c.Poll()
@@ -315,10 +371,11 @@ func (c *Collector) IngestMirrorPcap(r io.Reader, pool *mbuf.Pool) (ingested, ba
 // few hundred mirrors; call it explicitly after a quiet ingest burst.
 func (c *Collector) Poll() int {
 	c.sincePoll = 0
-	if c.watermark == math.MinInt64 {
+	wm := c.watermark.Load()
+	if wm == math.MinInt64 {
 		return 0
 	}
-	closedBelow := c.watermark - c.cfg.GapNs
+	closedBelow := wm - c.cfg.GapNs
 	emitted := 0
 	detectNs := c.now()
 	for _, ev := range c.an.DetectEvents(c.cfg.GapNs) {
@@ -331,7 +388,7 @@ func (c *Collector) Poll() int {
 		if !c.draining {
 			// Lag is only meaningful for genuinely online emissions; the
 			// Drain sentinel watermark would record nonsense.
-			c.stats.DetectLagNs.Observe(c.watermark - ev.EndNs)
+			c.stats.DetectLagNs.Observe(wm - ev.EndNs)
 		}
 		c.noteDetect(ev.StartNs, ev.EndNs, detectNs)
 		if c.cfg.OnEvent != nil {
@@ -343,6 +400,16 @@ func (c *Collector) Poll() int {
 		// so this trim releases exactly the emitted events' state.
 		c.trimNs = closedBelow + 1
 		c.an.TrimBefore(c.trimNs)
+		// Republish so lock-free readers see the newly emitted events. The
+		// window spine is unchanged, so the successor shares it outright.
+		cur := c.snap.Load()
+		c.publish(&Snapshot{
+			floor:    cur.floor,
+			resident: cur.resident,
+			epochs:   cur.epochs,
+			eps:      cur.eps,
+			events:   c.events,
+		}, detectNs)
 	}
 	return emitted
 }
@@ -352,37 +419,26 @@ func (c *Collector) Poll() int {
 // analyzer's DetectEvents. After ingesting the same ordered feeds, Drain's
 // result is identical to the batch pipeline's.
 func (c *Collector) Drain() []analyzer.Event {
-	c.watermark = math.MaxInt64 - c.cfg.GapNs
+	c.watermark.Store(math.MaxInt64 - c.cfg.GapNs)
 	c.draining = true
 	c.Poll()
 	return c.Events()
 }
 
 // Events returns the events emitted so far, sorted by (start, port).
+// Lock-free: reads the published snapshot.
 func (c *Collector) Events() []analyzer.Event {
-	evs := make([]analyzer.Event, len(c.events))
-	copy(evs, c.events)
-	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].StartNs != evs[j].StartNs {
-			return evs[i].StartNs < evs[j].StartNs
-		}
-		a, b := evs[i].Port, evs[j].Port
-		if a.Switch != b.Switch {
-			return a.Switch < b.Switch
-		}
-		return a.Port < b.Port
-	})
-	return evs
+	return c.snap.Load().Events()
 }
 
 // Watermark returns the max mirror timestamp ingested (MinInt64 before any
 // mirror).
-func (c *Collector) Watermark() int64 { return c.watermark }
+func (c *Collector) Watermark() int64 { return c.watermark.Load() }
 
 // Window describes the resident window: admitted epochs (ascending) and
 // total resident Queryables.
 func (c *Collector) Window() (epochs []uint64, resident int) {
-	return append([]uint64(nil), c.epochs...), c.resident
+	return c.snap.Load().Window()
 }
 
 // HostWindow is one host's resident epochs, for Status.
@@ -414,34 +470,49 @@ type Status struct {
 	MirrorsIngested int64 `json:"mirrors_ingested"`
 	EventsEmitted   int   `json:"events_emitted"`
 	TracedEpochs    int   `json:"traced_epochs"`
+
+	// Query plane: publication counter and wall stamp of the live snapshot
+	// (version 0 = nothing ingested yet), and the routing index's
+	// cumulative selectivity — reports visited vs skipped across queries.
+	SnapshotVersion     int64 `json:"snapshot_version"`
+	SnapshotPublishNs   int64 `json:"snapshot_publish_unix_ns"`
+	ReportsRouted       int64 `json:"reports_routed"`
+	ReportsRouteSkipped int64 `json:"reports_route_skipped"`
 }
 
-// Status snapshots the window, watermark and ingest counters. Like every
-// Collector method it must be serialized with ingest by the owner.
+// Status snapshots the window, watermark and ingest counters. Lock-free
+// and safe to call concurrently with ingest.
 func (c *Collector) Status() Status {
+	s := c.snap.Load()
 	st := Status{
-		WindowEpochs:    c.cfg.WindowEpochs,
-		EpochNs:         c.cfg.EpochNs,
-		GapNs:           c.cfg.GapNs,
-		DecodeBudget:    c.cfg.DecodeBudget,
-		Epochs:          append([]uint64{}, c.epochs...),
-		ResidentReports: c.resident,
-		ResidentCurves:  c.ResidentCurves(),
-		EvictionFloor:   c.floor,
-		ReportsIngested: c.reportsIn,
-		MirrorsIngested: c.mirrorsIn,
-		EventsEmitted:   len(c.events),
+		WindowEpochs:        c.cfg.WindowEpochs,
+		EpochNs:             c.cfg.EpochNs,
+		GapNs:               c.cfg.GapNs,
+		DecodeBudget:        c.cfg.DecodeBudget,
+		Epochs:              append([]uint64{}, s.epochs...),
+		ResidentReports:     s.resident,
+		ResidentCurves:      s.ResidentCurves(),
+		EvictionFloor:       s.floor,
+		ReportsIngested:     c.reportsIn.Load(),
+		MirrorsIngested:     c.mirrorsIn.Load(),
+		EventsEmitted:       len(s.events),
+		SnapshotVersion:     s.version,
+		SnapshotPublishNs:   s.publishNs,
+		ReportsRouted:       c.routeVisited.Load(),
+		ReportsRouteSkipped: c.routeSkipped.Load(),
 	}
-	if c.watermark != math.MinInt64 {
+	if wm := c.watermark.Load(); wm != math.MinInt64 {
 		st.HasWatermark = true
-		st.WatermarkNs = c.watermark
+		st.WatermarkNs = wm
 	}
+	c.traceMu.Lock()
 	if c.traces != nil {
 		st.TracedEpochs = len(c.traces.buf)
 	}
+	c.traceMu.Unlock()
 	byHost := make(map[int][]uint64)
-	for _, e := range c.epochs {
-		for h := range c.window[e] {
+	for i, e := range s.epochs {
+		for _, h := range s.eps[i].hosts {
 			byHost[h] = append(byHost[h], e)
 		}
 	}
@@ -456,59 +527,21 @@ func (c *Collector) Status() Status {
 // ResidentCurves totals decoded curves across the window — the decode-
 // budget-governed share of memory.
 func (c *Collector) ResidentCurves() int {
-	n := 0
-	for _, er := range c.window {
-		for _, q := range er {
-			n += q.ResidentCurves()
-		}
-	}
-	return n
+	return c.snap.Load().ResidentCurves()
 }
 
 // QueryFlow estimates flow f's per-window byte counts over [from, to)
-// windows by max-merging every resident report that plausibly saw the flow
-// — the analyzer's query semantics over the sliding window.
+// windows by max-merging the resident reports the routing index selects
+// for the flow — the analyzer's query semantics over the sliding window,
+// lock-free against ingest.
 func (c *Collector) QueryFlow(f flowkey.Key, from, to int64) []float64 {
-	if to < from {
-		to = from
-	}
-	out := make([]float64, to-from)
-	for _, e := range c.epochs {
-		for _, q := range c.window[e] {
-			if !q.MightSee(f) {
-				continue
-			}
-			for i, v := range q.QueryRange(f, from, to) {
-				if v > out[i] {
-					out[i] = v
-				}
-			}
-		}
-	}
-	return out
+	return c.snap.Load().QueryFlow(f, from, to)
 }
 
 // Replay queries every flow of an emitted event over the event span plus
 // margin, fanning out over the worker pool — the daemon's counterpart of
-// the batch analyzer's Replay.
+// the batch analyzer's Replay. All per-flow queries read one snapshot, so
+// the view is internally consistent even while ingest keeps running.
 func (c *Collector) Replay(ev analyzer.Event, marginNs int64) *analyzer.ReplayView {
-	from := measure.WindowOf(ev.StartNs-marginNs) - 1
-	if from < 0 {
-		from = 0
-	}
-	to := measure.WindowOf(ev.EndNs+marginNs) + 2
-	view := &analyzer.ReplayView{
-		Event:       ev,
-		WindowStart: from,
-		Windows:     int(to - from),
-		Curves:      make(map[flowkey.Key][]float64, len(ev.Flows)),
-	}
-	curves := make([][]float64, len(ev.Flows))
-	parallel.ForEach(len(ev.Flows), func(i int) {
-		curves[i] = c.QueryFlow(ev.Flows[i], from, to)
-	})
-	for i, f := range ev.Flows {
-		view.Curves[f] = curves[i]
-	}
-	return view
+	return c.snap.Load().Replay(ev, marginNs)
 }

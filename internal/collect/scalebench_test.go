@@ -1,0 +1,297 @@
+package collect
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"umon/internal/analyzer"
+	"umon/internal/flowkey"
+	"umon/internal/parallel"
+	"umon/internal/report"
+	"umon/internal/wavesketch"
+)
+
+// The fleet-scale query fixture: 125 hosts × 16 epochs = 2,000 resident
+// (host, epoch) reports, each carrying 512 distinct flows — 1,024,000
+// distinct flow keys in the window. A wider-than-default light part (W =
+// 4096) keeps per-report bucket occupancy low (~12% per row), so routing a
+// sparse flow hits its one true report plus a handful of false passes
+// instead of the whole window — the regime the routing index is built for.
+const (
+	scaleHosts      = 125
+	scaleEpochs     = 16
+	scaleFlowsPer   = 512
+	scaleReports    = scaleHosts * scaleEpochs
+	scaleFlows      = scaleReports * scaleFlowsPer
+	scaleWindowsMax = 32
+	// scaleProbes bounds the benchmarks' query working set: probes cycle
+	// through this many distinct flows (stride-2049 over the 1M id space),
+	// and the fixture pre-warms their memoized decode caches, so every
+	// run measures steady-state serving latency rather than first-touch
+	// decode cost.
+	scaleProbes = 8192
+)
+
+// scaleProbe maps a query sequence number to its probe flow id.
+func scaleProbe(n int64) int {
+	return int(n%scaleProbes*2049) % scaleFlows
+}
+
+var scaleCfg = wavesketch.Config{Rows: 3, Width: 4096, Levels: 8, K: 1, Seed: 0x5eed0f}
+
+// scaleKey maps a dense flow id to a distinct 5-tuple.
+func scaleKey(id int) flowkey.Key {
+	return flowkey.Key{
+		SrcIP: 0x0b000000 + uint32(id), DstIP: 0x0ac8c8c8,
+		SrcPort: uint16(20000 + id%4096), DstPort: flowkey.RoCEPort, Proto: flowkey.ProtoUDP,
+	}
+}
+
+type scaleFixture struct {
+	col   *Collector
+	reps  []*report.HostReport // admission order: (host, epoch) = (ri/16, ri%16)
+	event analyzer.Event
+	// mirrorNs hands each Mixed-bench ingest pass a fresh, monotonically
+	// increasing mirror timestamp range.
+	mirrorNs atomic.Int64
+}
+
+var (
+	scaleOnce sync.Once
+	scaleFix  *scaleFixture
+)
+
+// buildScaleFixture admits the 2,000-report window once, shared by every
+// scale benchmark and the selectivity test. Reports are sealed in parallel
+// (that is host work); admission itself is the serial ingest path under
+// measurement elsewhere.
+func buildScaleFixture(tb testing.TB) *scaleFixture {
+	tb.Helper()
+	scaleOnce.Do(func() {
+		reps := make([]*report.HostReport, scaleReports)
+		parallel.ForEach(scaleReports, func(ri int) {
+			host, epoch := ri/scaleEpochs, ri%scaleEpochs
+			s, err := wavesketch.NewBasic(scaleCfg)
+			if err != nil {
+				panic(err)
+			}
+			base := ri * scaleFlowsPer
+			for j := 0; j < scaleFlowsPer; j++ {
+				id := base + j
+				s.Update(scaleKey(id), int64(id%scaleWindowsMax), int64(id+1))
+			}
+			s.Seal()
+			reps[ri] = report.FromBasic(host, int64(epoch)*20_000_000, s)
+		})
+		col := New(Config{WindowEpochs: scaleEpochs})
+		for ri, rep := range reps {
+			col.Add(uint64(ri%scaleEpochs), rep)
+		}
+		// One emitted event with 8 flows, for Replay: a mirror burst closed
+		// by a later mirror advancing the watermark past the gap.
+		for i := 0; i < 8; i++ {
+			col.AddMirror(mirrorAt(0, 1, int64(1_000+i*100), scaleKey(i*scaleFlowsPer)))
+		}
+		col.AddMirror(mirrorAt(0, 2, 500_000, scaleKey(0)))
+		if col.Poll() < 1 {
+			panic("scale fixture emitted no event")
+		}
+		// Warm the probe set's decode caches through the scan path (a
+		// superset of what routing visits), so benchmarks and the
+		// selectivity test measure steady state.
+		snap := col.Snapshot()
+		parallel.ForEach(scaleProbes, func(n int) {
+			snap.queryFlowScan(scaleKey(scaleProbe(int64(n))), 0, scaleWindowsMax)
+		})
+		fx := &scaleFixture{col: col, reps: reps, event: col.Events()[0]}
+		fx.mirrorNs.Store(600_000)
+		scaleFix = fx
+	})
+	return scaleFix
+}
+
+// TestScaleRoutingSelectivity pins the acceptance criterion on the full-
+// size window: querying sparse flows (each present in exactly one report),
+// the routing index visits under 10% of the 2,000 resident reports —
+// bucket-bitmap false passes included — while answers stay identical to
+// the full scan.
+func TestScaleRoutingSelectivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale fixture is expensive")
+	}
+	fx := buildScaleFixture(t)
+	snap := fx.col.Snapshot()
+	if _, resident := snap.Window(); resident != scaleReports {
+		t.Fatalf("resident = %d, want %d", resident, scaleReports)
+	}
+	before := fx.col.routeVisited.Load()
+	beforeSkip := fx.col.routeSkipped.Load()
+	const queries = 500
+	for i := 0; i < queries; i++ {
+		id := scaleProbe(int64(i))
+		got := snap.QueryFlow(scaleKey(id), 0, scaleWindowsMax)
+		if i%50 == 0 {
+			// Spot-check exactness against the full scan at this scale too.
+			if want := snap.queryFlowScan(scaleKey(id), 0, scaleWindowsMax); !reflect.DeepEqual(got, want) {
+				t.Fatalf("flow %d: routed answer diverges from scan", id)
+			}
+		}
+	}
+	visited := fx.col.routeVisited.Load() - before
+	skipped := fx.col.routeSkipped.Load() - beforeSkip
+	if visited+skipped != queries*scaleReports {
+		t.Fatalf("visited+skipped = %d, want %d", visited+skipped, queries*scaleReports)
+	}
+	frac := float64(visited) / float64(queries*scaleReports)
+	t.Logf("routing selectivity: %.2f reports/query of %d resident (%.2f%%)",
+		float64(visited)/queries, scaleReports, 100*frac)
+	if frac >= 0.10 {
+		t.Fatalf("sparse-flow selectivity %.2f%% ≥ 10%% of resident", 100*frac)
+	}
+}
+
+// reportLatencies attaches p50/p99 latency and overall QPS to a benchmark
+// whose per-op durations were collected across RunParallel goroutines.
+func reportLatencies(b *testing.B, lats []time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	b.ReportMetric(float64(lats[len(lats)/2]), "p50-ns")
+	b.ReportMetric(float64(lats[len(lats)*99/100]), "p99-ns")
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}
+
+// latCollector accumulates per-goroutine latency samples without
+// contending on the hot path.
+type latCollector struct {
+	mu   sync.Mutex
+	lats []time.Duration
+}
+
+func (lc *latCollector) add(local []time.Duration) {
+	lc.mu.Lock()
+	lc.lats = append(lc.lats, local...)
+	lc.mu.Unlock()
+}
+
+// BenchmarkQueryScaleFlow is the headline number: concurrent routed
+// QueryFlow against the 2,000-report / 1M-flow window.
+func BenchmarkQueryScaleFlow(b *testing.B) {
+	fx := buildScaleFixture(b)
+	var lc latCollector
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]time.Duration, 0, 4096)
+		for pb.Next() {
+			id := scaleProbe(seq.Add(1))
+			start := time.Now()
+			fx.col.QueryFlow(scaleKey(id), 0, scaleWindowsMax)
+			local = append(local, time.Since(start))
+		}
+		lc.add(local)
+	})
+	b.StopTimer()
+	reportLatencies(b, lc.lats)
+}
+
+// BenchmarkQueryScaleFlowScan is the pre-routing baseline at identical
+// scale: the linear MightSee scan over every resident report that
+// Collector.QueryFlow used to run under the ingest mutex.
+func BenchmarkQueryScaleFlowScan(b *testing.B) {
+	fx := buildScaleFixture(b)
+	snap := fx.col.Snapshot()
+	var lc latCollector
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]time.Duration, 0, 4096)
+		for pb.Next() {
+			id := scaleProbe(seq.Add(1))
+			start := time.Now()
+			snap.queryFlowScan(scaleKey(id), 0, scaleWindowsMax)
+			local = append(local, time.Since(start))
+		}
+		lc.add(local)
+	})
+	b.StopTimer()
+	reportLatencies(b, lc.lats)
+}
+
+// BenchmarkQueryScaleReplay replays the fixture event (8 flows) against
+// the full window, concurrently.
+func BenchmarkQueryScaleReplay(b *testing.B) {
+	fx := buildScaleFixture(b)
+	var lc latCollector
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]time.Duration, 0, 1024)
+		for pb.Next() {
+			start := time.Now()
+			fx.col.Replay(fx.event, 250_000)
+			local = append(local, time.Since(start))
+		}
+		lc.add(local)
+	})
+	b.StopTimer()
+	reportLatencies(b, lc.lats)
+}
+
+// BenchmarkQueryScaleMixed measures query latency while the ingest side
+// keeps mutating: one writer goroutine folds mirrors, runs online
+// detection passes, and re-admits reports (publishing a fresh snapshot
+// each time) while the parallel query load runs. This is the serving
+// regime the lock-free read plane exists for — queries never wait on the
+// writer.
+func BenchmarkQueryScaleMixed(b *testing.B) {
+	fx := buildScaleFixture(b)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ns := fx.mirrorNs.Add(1_000)
+			fx.col.AddMirror(mirrorAt(1, 1, ns, scaleKey(i%scaleFlows)))
+			if i%64 == 0 {
+				fx.col.Poll()
+			}
+			if i%16 == 0 {
+				// Re-admit an existing (host, epoch) report: a host-overwrite
+				// admission that rebuilds the epoch's routing index and
+				// publishes a fresh snapshot, without changing window contents.
+				ri := (i / 16) % scaleReports
+				fx.col.Add(uint64(ri%scaleEpochs), fx.reps[ri])
+			}
+			i++
+		}
+	}()
+	var lc latCollector
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]time.Duration, 0, 4096)
+		for pb.Next() {
+			id := scaleProbe(seq.Add(1))
+			start := time.Now()
+			fx.col.QueryFlow(scaleKey(id), 0, scaleWindowsMax)
+			local = append(local, time.Since(start))
+		}
+		lc.add(local)
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	reportLatencies(b, lc.lats)
+}

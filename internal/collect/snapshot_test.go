@@ -1,0 +1,173 @@
+package collect
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"umon/internal/flowkey"
+	"umon/internal/report"
+	"umon/internal/telemetry"
+	"umon/internal/wavesketch"
+)
+
+// mkFullReport builds a full-version report for host: bulk flows drive the
+// light part, and one dominant flow is hammered hard enough to win a heavy
+// slot, so the window carries heavy postings.
+func mkFullReport(t testing.TB, host int, dominant flowkey.Key, bulk []flowkey.Key) *report.HostReport {
+	t.Helper()
+	f, err := wavesketch.NewFull(wavesketch.DefaultFull())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := int64(0); w < 64; w++ {
+		f.Update(dominant, w, 10_000)
+	}
+	for i, k := range bulk {
+		f.Update(k, int64(i%32), int64(100*(i+1)))
+	}
+	f.Seal()
+	return report.FromFull(host, 0, f)
+}
+
+// TestSnapshotQueryMatchesScan is the routing property test: for a window
+// mixing light-only and full (heavy-carrying) reports across several
+// epochs, the routed QueryFlow answer must be reflect.DeepEqual — bit-
+// identical floats — to the pre-change linear scan over every resident
+// report (queryFlowScan, the mutex-era implementation kept as oracle).
+func TestSnapshotQueryMatchesScan(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New(Config{WindowEpochs: 6, Stats: NewStats(reg)})
+	var probes []flowkey.Key
+	for e := uint64(0); e < 6; e++ {
+		for h := 0; h < 3; h++ {
+			f := key(int(e)*10 + h)
+			probes = append(probes, f)
+			c.Add(e, mkReport(h, f, int64(e)+10, int64(100*(h+1))))
+		}
+		var bulk []flowkey.Key
+		for j := 0; j < 12; j++ {
+			bulk = append(bulk, key(1000+int(e)*12+j))
+		}
+		probes = append(probes, key(900+int(e)))
+		probes = append(probes, bulk...)
+		c.Add(e, mkFullReport(t, 9, key(900+int(e)), bulk))
+	}
+
+	snap := c.Snapshot()
+	if ver := snap.Version(); ver == 0 {
+		t.Fatal("snapshot version did not advance past the empty window")
+	}
+	check := func(f flowkey.Key, from, to int64) {
+		t.Helper()
+		want := snap.queryFlowScan(f, from, to)
+		if got := c.QueryFlow(f, from, to); !reflect.DeepEqual(got, want) {
+			t.Fatalf("QueryFlow(%s, %d, %d) = %v, want scan answer %v", f, from, to, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, f := range probes {
+		check(f, 0, 40)
+		from := int64(rng.Intn(30))
+		check(f, from, from+int64(rng.Intn(20)))
+	}
+	for i := 0; i < 200; i++ { // flows the window never saw
+		check(flowkey.Key{
+			SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+			SrcPort: uint16(rng.Intn(1 << 16)), DstPort: uint16(rng.Intn(1 << 16)),
+			Proto: uint8(rng.Intn(256)),
+		}, 0, 40)
+	}
+
+	// Every query decomposed the full resident set into visited + skipped.
+	st := c.Status()
+	if st.ReportsRouted <= 0 || st.ReportsRouteSkipped <= 0 {
+		t.Fatalf("selectivity counters = %d/%d, want both positive", st.ReportsRouted, st.ReportsRouteSkipped)
+	}
+	visited := reg.Value("umon_collect_query_reports_visited_total")
+	skipped := reg.Value("umon_collect_query_reports_skipped_total")
+	if visited != st.ReportsRouted || skipped != st.ReportsRouteSkipped {
+		t.Fatalf("telemetry %d/%d disagrees with status %d/%d", visited, skipped, st.ReportsRouted, st.ReportsRouteSkipped)
+	}
+	queries := int64(len(probes)*2 + 200)
+	if total := st.ReportsRouted + st.ReportsRouteSkipped; total != queries*int64(st.ResidentReports) {
+		t.Fatalf("visited+skipped = %d, want queries×resident = %d", total, queries*int64(st.ResidentReports))
+	}
+}
+
+// TestSnapshotHeldDuringIngest is the -race proof of the lock-free
+// contract: a query-side goroutine holds one snapshot and keeps reading it
+// while the ingest goroutine admits and evicts right past it, and other
+// readers hammer the live collector. The held snapshot's answers must stay
+// bit-identical throughout — including for epochs the live window has
+// since evicted — while the live window demonstrably moves on.
+func TestSnapshotHeldDuringIngest(t *testing.T) {
+	c := New(Config{WindowEpochs: 4})
+	for e := uint64(0); e < 4; e++ {
+		for h := 0; h < 2; h++ {
+			c.Add(e, mkReport(h, key(int(e)*2+h), int64(e)+5, int64(100*(h+1))))
+		}
+	}
+	held := c.Snapshot()
+	heldVer := held.Version()
+	var heldFlows []flowkey.Key
+	for i := 0; i < 8; i++ {
+		heldFlows = append(heldFlows, key(i))
+	}
+	want := make(map[flowkey.Key][]float64)
+	for _, f := range heldFlows {
+		want[f] = held.QueryFlow(f, 0, 16)
+	}
+
+	const extraEpochs = 64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) { // readers against both the held and the live view
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f := heldFlows[(i+r)%len(heldFlows)]
+				if got := held.QueryFlow(f, 0, 16); !reflect.DeepEqual(got, want[f]) {
+					t.Errorf("held snapshot answer drifted mid-ingest for %s", f)
+					return
+				}
+				c.QueryFlow(key(i%200), 0, 16)
+				c.Status()
+				c.Window()
+			}
+		}(r)
+	}
+	for e := uint64(4); e < 4+extraEpochs; e++ { // the single ingest writer
+		for h := 0; h < 2; h++ {
+			c.Add(e, mkReport(h, key(int(e)*2+h), int64(e%30)+5, int64(100*(h+1))))
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := c.Status()
+	if st.EvictionFloor != 4+extraEpochs-4 {
+		t.Errorf("eviction floor = %d, want %d (ingest must have evicted)", st.EvictionFloor, 4+extraEpochs-4)
+	}
+	live := c.Snapshot()
+	if live.Version() <= heldVer {
+		t.Errorf("live version %d did not advance past held %d", live.Version(), heldVer)
+	}
+	// The held snapshot still answers for its (long-evicted) window,
+	// bit-identical to what it said before ingest moved.
+	for _, f := range heldFlows {
+		if got := held.QueryFlow(f, 0, 16); !reflect.DeepEqual(got, want[f]) {
+			t.Fatalf("held snapshot answer changed after eviction for %s: %v != %v", f, got, want[f])
+		}
+	}
+	if epochs, _ := held.Window(); epochs[0] != 0 {
+		t.Errorf("held window slid: %v", epochs)
+	}
+}

@@ -43,6 +43,17 @@ type Stats struct {
 	AdmitDetectNs *telemetry.Histogram
 	SealDetectNs  *telemetry.Histogram
 
+	// Query-plane counters. RouteVisited/RouteSkipped decompose every
+	// QueryFlow's report fan-out: visited is how many resident reports the
+	// routing index selected, skipped is how many it proved could not
+	// answer — the selectivity that replaces the old full-window scan.
+	RouteVisited *telemetry.Counter
+	RouteSkipped *telemetry.Counter
+	// SnapshotVersion/SnapshotPublishNs gauge the live window snapshot's
+	// publication counter and wall stamp (see Collector.Snapshot).
+	SnapshotVersion   *telemetry.Gauge
+	SnapshotPublishNs *telemetry.Gauge
+
 	// Decode is attached to every admitted Queryable (curve decode
 	// hits/misses/evictions under the decode budget).
 	Decode *report.QueryStats
@@ -55,19 +66,23 @@ func NewStats(reg *telemetry.Registry) *Stats {
 		return nil
 	}
 	return &Stats{
-		ReportsIngested: reg.Counter("umon_collect_reports_ingested_total", "host reports admitted to the epoch window"),
-		EpochsIngested:  reg.Counter("umon_collect_epochs_ingested_total", "distinct epochs admitted to the window"),
-		LateReports:     reg.Counter("umon_collect_late_reports_total", "reports rejected for already-evicted epochs"),
-		Evictions:       reg.Counter("umon_collect_evictions_total", "Queryables evicted as the epoch window slid"),
-		WindowResident:  reg.Gauge("umon_collect_window_resident", "Queryables currently resident in the window"),
-		MirrorsIngested: reg.Counter("umon_collect_mirrors_ingested_total", "mirror records folded into event clusters"),
-		LateMirrors:     reg.Counter("umon_collect_late_mirrors_total", "mirrors dropped below the trim horizon"),
-		EventsEmitted:   reg.Counter("umon_collect_events_emitted_total", "congestion events closed and emitted online"),
-		DetectLagNs:     reg.Histogram("umon_collect_detect_lag_ns", "watermark lead past event end at emission (ns)"),
-		SealShipNs:      reg.Histogram("umon_trace_seal_ship_ns", "epoch lifecycle: host seal start to sink ship (wall ns)"),
-		ShipAdmitNs:     reg.Histogram("umon_trace_ship_admit_ns", "epoch lifecycle: sink ship to window admission (wall ns)"),
-		AdmitDetectNs:   reg.Histogram("umon_trace_admit_detect_ns", "epoch lifecycle: admission to first overlapping event emission (wall ns)"),
-		SealDetectNs:    reg.Histogram("umon_trace_seal_detect_ns", "epoch lifecycle: seal to detection end-to-end (wall ns)"),
-		Decode:          report.NewQueryStats(reg),
+		ReportsIngested:   reg.Counter("umon_collect_reports_ingested_total", "host reports admitted to the epoch window"),
+		EpochsIngested:    reg.Counter("umon_collect_epochs_ingested_total", "distinct epochs admitted to the window"),
+		LateReports:       reg.Counter("umon_collect_late_reports_total", "reports rejected for already-evicted epochs"),
+		Evictions:         reg.Counter("umon_collect_evictions_total", "Queryables evicted as the epoch window slid"),
+		WindowResident:    reg.Gauge("umon_collect_window_resident", "Queryables currently resident in the window"),
+		MirrorsIngested:   reg.Counter("umon_collect_mirrors_ingested_total", "mirror records folded into event clusters"),
+		LateMirrors:       reg.Counter("umon_collect_late_mirrors_total", "mirrors dropped below the trim horizon"),
+		EventsEmitted:     reg.Counter("umon_collect_events_emitted_total", "congestion events closed and emitted online"),
+		DetectLagNs:       reg.Histogram("umon_collect_detect_lag_ns", "watermark lead past event end at emission (ns)"),
+		SealShipNs:        reg.Histogram("umon_trace_seal_ship_ns", "epoch lifecycle: host seal start to sink ship (wall ns)"),
+		ShipAdmitNs:       reg.Histogram("umon_trace_ship_admit_ns", "epoch lifecycle: sink ship to window admission (wall ns)"),
+		AdmitDetectNs:     reg.Histogram("umon_trace_admit_detect_ns", "epoch lifecycle: admission to first overlapping event emission (wall ns)"),
+		SealDetectNs:      reg.Histogram("umon_trace_seal_detect_ns", "epoch lifecycle: seal to detection end-to-end (wall ns)"),
+		RouteVisited:      reg.Counter("umon_collect_query_reports_visited_total", "resident reports the routing index selected for flow queries"),
+		RouteSkipped:      reg.Counter("umon_collect_query_reports_skipped_total", "resident reports the routing index proved unable to answer"),
+		SnapshotVersion:   reg.Gauge("umon_collect_snapshot_version", "publication counter of the live window snapshot"),
+		SnapshotPublishNs: reg.Gauge("umon_collect_snapshot_publish_unix_ns", "wall stamp of the live window snapshot's publication"),
+		Decode:            report.NewQueryStats(reg),
 	}
 }

@@ -37,8 +37,9 @@ type traceKey struct {
 }
 
 // traceRing is a fixed-capacity overwrite-oldest ring of EpochTraces with
-// a (host, epoch) index for stamp backfill. Single-goroutine, like the
-// Collector that owns it.
+// a (host, epoch) index for stamp backfill. Guarded by the owning
+// Collector's traceMu: readers (Traces, Status) run concurrently with the
+// serialized mutators.
 type traceRing struct {
 	buf []EpochTrace
 	seq int               // total records ever admitted
@@ -119,6 +120,8 @@ func (c *Collector) noteAdmit(host int, epoch uint64, st report.EpochStamp, admi
 	if c.traces == nil {
 		return
 	}
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
 	tr := c.traces.add(EpochTrace{
 		Host: host, Epoch: epoch,
 		SealNs: st.SealNs, ShipNs: st.ShipNs, AdmitNs: admitNs,
@@ -132,6 +135,8 @@ func (c *Collector) noteStamp(host int, epoch uint64, st report.EpochStamp) {
 	if c.traces == nil {
 		return
 	}
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
 	tr := c.traces.lookup(host, epoch)
 	if tr == nil || tr.SealNs != 0 || tr.ShipNs != 0 {
 		return // report lost, evicted from the ring, or already stamped
@@ -156,6 +161,8 @@ func (c *Collector) noteDetect(startNs, endNs int64, detectNs int64) {
 	if c.traces == nil || c.cfg.EpochNs <= 0 {
 		return
 	}
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
 	e0 := epochOf(startNs, c.cfg.EpochNs)
 	e1 := epochOf(endNs, c.cfg.EpochNs)
 	c.traces.each(func(tr *EpochTrace) {
@@ -178,10 +185,13 @@ func epochOf(ns, epochNs int64) uint64 {
 	return uint64(ns / epochNs)
 }
 
-// Traces returns the lifecycle ring, oldest record first.
+// Traces returns the lifecycle ring, oldest record first. Safe to call
+// concurrently with ingest.
 func (c *Collector) Traces() []EpochTrace {
 	if c.traces == nil {
 		return nil
 	}
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
 	return c.traces.snapshot()
 }

@@ -6,7 +6,6 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
-	"sync"
 	"testing"
 
 	"umon/internal/collect"
@@ -18,8 +17,8 @@ import (
 
 // benchFixture builds a daemon-shaped API over a large multi-epoch window
 // — 16 epochs × 8 hosts, each report carrying several flows — with one
-// emitted multi-flow event to replay. Queries run concurrently against it,
-// contending on the ingest lock exactly as a live daemon's clients would.
+// emitted multi-flow event to replay. Queries run concurrently against the
+// collector's lock-free snapshot plane, as a live daemon's clients would.
 func benchFixture(b *testing.B) (*httptest.Server, []flowkey.Key) {
 	b.Helper()
 	reg := telemetry.NewRegistry()
@@ -57,7 +56,7 @@ func benchFixture(b *testing.B) (*httptest.Server, []flowkey.Key) {
 	}
 
 	mux := http.NewServeMux()
-	New(Config{Collector: col, Mu: &sync.Mutex{}, Stats: stats}).Mount(mux)
+	New(Config{Collector: col, Stats: stats}).Mount(mux)
 	srv := httptest.NewServer(mux)
 	b.Cleanup(srv.Close)
 	return srv, flows

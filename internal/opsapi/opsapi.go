@@ -10,11 +10,12 @@
 //	/api/events        emitted events; ?follow= streams live over SSE
 //	/api/trace/epochs  epoch-lifecycle traces + per-stage latency summaries
 //
-// The Collector is single-goroutine; the API serializes every collector
-// touch through the same lock the daemon's ingest loop holds, so handlers
-// see consistent snapshots and never race ingest. Handlers hold the lock
-// only while touching the collector — never while writing the response —
-// so a slow client cannot stall ingest.
+// Every handler reads the collector's lock-free query plane: the
+// Collector publishes an immutable window snapshot on each mutation and
+// its read methods (Status, QueryFlow, Replay, Events, Traces) load it
+// without taking the ingest lock. Handlers therefore never serialize with
+// the daemon's ingest loop — a slow client cannot stall admission, and
+// concurrent API load scales across cores.
 package opsapi
 
 import (
@@ -23,7 +24,6 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync"
 	"time"
 
 	"umon/internal/analyzer"
@@ -34,7 +34,6 @@ import (
 
 // API serves the introspection routes for one Collector.
 type API struct {
-	mu    sync.Locker
 	col   *collect.Collector
 	hub   *Hub
 	stats *collect.Stats
@@ -43,12 +42,9 @@ type API struct {
 // Config parameterizes New. Collector is required; everything else is
 // optional.
 type Config struct {
-	// Collector is the live window the API answers from.
+	// Collector is the live window the API answers from. Its read plane is
+	// lock-free, so the API needs no serialization with the ingest loop.
 	Collector *collect.Collector
-	// Mu serializes collector access with the owner's ingest loop. nil
-	// means the API gets a private mutex — correct only when nothing else
-	// touches the collector concurrently.
-	Mu sync.Locker
 	// Hub, when set, backs /api/events with the live stream (lossless
 	// follow). Without it, /api/events serves the collector's emitted list
 	// and ?follow= is rejected.
@@ -64,10 +60,7 @@ func New(cfg Config) *API {
 	if cfg.Collector == nil {
 		panic("opsapi: nil Collector")
 	}
-	if cfg.Mu == nil {
-		cfg.Mu = &sync.Mutex{}
-	}
-	return &API{mu: cfg.Mu, col: cfg.Collector, hub: cfg.Hub, stats: cfg.Stats}
+	return &API{col: cfg.Collector, hub: cfg.Hub, stats: cfg.Stats}
 }
 
 // Mount registers the /api/ routes on mux (typically telemetry.NewMux's).
@@ -118,16 +111,11 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func (a *API) handleStatus(w http.ResponseWriter, r *http.Request) {
-	a.mu.Lock()
-	st := a.col.Status()
-	a.mu.Unlock()
-	writeJSON(w, st)
+	writeJSON(w, a.col.Status())
 }
 
 func (a *API) handleHosts(w http.ResponseWriter, r *http.Request) {
-	a.mu.Lock()
 	hosts := a.col.Status().Hosts
-	a.mu.Unlock()
 	writeJSON(w, struct {
 		Hosts []collect.HostWindow `json:"hosts"`
 	}{hosts})
@@ -154,9 +142,7 @@ func (a *API) handleQueryFlow(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "from/to must be window ids", http.StatusBadRequest)
 		return
 	}
-	a.mu.Lock()
 	windows := a.col.QueryFlow(f, from, to)
-	a.mu.Unlock()
 	writeJSON(w, QueryFlowResponse{Flow: f.String(), From: from, To: to, Windows: windows})
 }
 
@@ -183,15 +169,15 @@ func (a *API) handleReplay(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	a.mu.Lock()
-	events := a.col.Events()
+	// One snapshot serves both the event lookup and the replay, so the
+	// replayed event is consistent with the cursor even while ingest runs.
+	snap := a.col.Snapshot()
+	events := snap.Events()
 	if idx < 0 || idx >= len(events) {
-		a.mu.Unlock()
 		http.Error(w, fmt.Sprintf("event %d of %d", idx, len(events)), http.StatusNotFound)
 		return
 	}
-	view := a.col.Replay(events[idx], marginUs*1000)
-	a.mu.Unlock()
+	view := snap.Replay(events[idx], marginUs*1000)
 	resp := ReplayResponse{
 		Event:       NewEventJSON(idx, view.Event),
 		WindowStart: view.WindowStart,
@@ -243,9 +229,7 @@ func (a *API) handleEvents(w http.ResponseWriter, r *http.Request) {
 			resp.Events = append(resp.Events, NewEventJSON(since+i, ev))
 		}
 	} else {
-		a.mu.Lock()
 		events := a.col.Events()
-		a.mu.Unlock()
 		if since > len(events) {
 			since = len(events)
 		}
@@ -325,10 +309,7 @@ type TraceResponse struct {
 }
 
 func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
-	a.mu.Lock()
-	traces := a.col.Traces()
-	a.mu.Unlock()
-	resp := TraceResponse{Traces: traces}
+	resp := TraceResponse{Traces: a.col.Traces()}
 	if a.stats != nil {
 		resp.Stages = map[string]StageSummary{
 			"seal_ship":    summarize(a.stats.SealShipNs),

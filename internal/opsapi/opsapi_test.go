@@ -90,9 +90,11 @@ func newFixture(t testing.TB) *fixture {
 		t.Fatal("fixture expected one emitted event")
 	}
 
+	// mu serializes the tests' own ingest goroutines (the collector's
+	// mutators are single-writer); the API itself reads lock-free.
 	mu := &sync.Mutex{}
 	mux := telemetry.NewMux(reg)
-	New(Config{Collector: col, Mu: mu, Hub: hub, Stats: stats}).Mount(mux)
+	New(Config{Collector: col, Hub: hub, Stats: stats}).Mount(mux)
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return &fixture{col: col, stats: stats, hub: hub, mu: mu, srv: srv}

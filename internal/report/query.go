@@ -184,6 +184,30 @@ func NewQueryable(r *HostReport) *Queryable {
 // Host returns the reporting host.
 func (q *Queryable) Host() int { return q.rep.Host }
 
+// Geometry identifies the hash layout of a report's sketch: two reports
+// with equal geometries hash any flow to the same (row, bucket) positions,
+// so their routing bitmaps can be merged into one window-global index that
+// hashes each queried flow once per geometry instead of once per report.
+type Geometry struct {
+	Seed  uint64
+	Rows  int
+	Width int
+}
+
+// Geometry returns the report's hash layout.
+func (q *Queryable) Geometry() Geometry {
+	return Geometry{Seed: q.rep.Meta.Seed, Rows: len(q.seeds), Width: int(q.width)}
+}
+
+// RowBits returns row r's non-empty-bucket bitmap (nil when the report has
+// no light part). The slice is shared and must be treated as read-only.
+func (q *Queryable) RowBits(r int) []uint64 {
+	if r < 0 || r >= len(q.rowBits) {
+		return nil
+	}
+	return q.rowBits[r]
+}
+
 // IsHeavy reports whether the flow has a dedicated heavy entry.
 func (q *Queryable) IsHeavy(f flowkey.Key) bool {
 	_, ok := q.heavy[f]
@@ -303,13 +327,6 @@ func addInto(dst []float64, w0 int64, curve []float64, from, to int64, sign floa
 	}
 }
 
-// slice extracts [from, to) from a curve anchored at w0.
-func slice(w0 int64, curve []float64, from, to int64) []float64 {
-	out := make([]float64, to-from)
-	sliceInto(out, w0, curve, from, to)
-	return out
-}
-
 // QueryRange estimates flow f's per-window byte counts over [from, to).
 // Heavy flows answer from their dedicated curve, falling back to the light
 // estimate for windows before the heavy entry began (mid-flow election),
@@ -318,33 +335,66 @@ func (q *Queryable) QueryRange(f flowkey.Key, from, to int64) []float64 {
 	if to < from {
 		to = from
 	}
+	return q.QueryRangeInto(make([]float64, 0, to-from), f, from, to)
+}
+
+// lightScratch pools the per-row working buffer of light estimates, so the
+// alloc-free query path stays alloc-free across reports and goroutines.
+var lightScratch = sync.Pool{New: func() any { return new([]float64) }}
+
+// QueryRangeInto appends flow f's per-window estimates over [from, to) to
+// dst and returns the extended slice — the allocation-free form of
+// QueryRange for merge loops that reuse one buffer across reports. The
+// appended region is fully overwritten. Identical arithmetic to QueryRange
+// (same operations in the same order), so results are bit-equal. Safe for
+// concurrent use.
+func (q *Queryable) QueryRangeInto(dst []float64, f flowkey.Key, from, to int64) []float64 {
+	if to < from {
+		to = from
+	}
+	n := int(to - from)
+	base := len(dst)
+	if cap(dst)-base >= n {
+		dst = dst[:base+n]
+	} else {
+		dst = append(dst, make([]float64, n)...)
+	}
+	out := dst[base : base+n]
 	if h := q.heavy[f]; h != nil {
-		est := slice(h.exp.W0, q.heavyCurve(h), from, to)
+		sliceInto(out, h.exp.W0, q.heavyCurve(h), from, to)
 		if w0 := h.exp.W0; w0 > from {
 			cut := w0
 			if cut > to {
 				cut = to
 			}
-			copy(est[:cut-from], q.lightEstimate(f, from, cut))
+			q.lightInto(out[:cut-from], f, from, cut)
 		}
-		return est
+		return dst
 	}
-	return q.lightEstimate(f, from, to)
+	q.lightInto(out, f, from, to)
+	return dst
 }
 
-// lightEstimate is the light-part Count-Min estimate with co-located
-// heavy-flow subtraction: per row, reconstruct the flow's bucket, subtract
-// the heavy flows the inverted index lists for that bucket, clamp at zero
-// (Count-Min estimates are non-negative) and fold the per-window minimum in
-// place.
-func (q *Queryable) lightEstimate(f flowkey.Key, from, to int64) []float64 {
+// lightInto is the light-part Count-Min estimate with co-located
+// heavy-flow subtraction, written into out (len(out) == to-from, fully
+// overwritten): per row, reconstruct the flow's bucket, subtract the heavy
+// flows the inverted index lists for that bucket, clamp at zero (Count-Min
+// estimates are non-negative) and fold the per-window minimum in place.
+func (q *Queryable) lightInto(out []float64, f flowkey.Key, from, to int64) {
 	n := int(to - from)
-	out := make([]float64, n)
 	rows := len(q.seeds)
 	if rows == 0 {
-		return out
+		for i := range out {
+			out[i] = 0
+		}
+		return
 	}
-	var scratch []float64
+	sp := lightScratch.Get().(*[]float64)
+	scratch := *sp
+	if cap(scratch) < n {
+		scratch = make([]float64, n)
+	}
+	scratch = scratch[:n]
 	first := true
 	for r := 0; r < rows; r++ {
 		idx := int(f.Hash(q.seeds[r]) % q.width)
@@ -354,10 +404,7 @@ func (q *Queryable) lightEstimate(f flowkey.Key, from, to int64) []float64 {
 			for i := range out {
 				out[i] = 0
 			}
-			return out
-		}
-		if scratch == nil {
-			scratch = make([]float64, n)
+			break
 		}
 		sliceInto(scratch, e.exp.W0, q.bucketCurve(e), from, to)
 		// Subtract co-located heavy flows (§4.2) — only the ones the
@@ -388,5 +435,6 @@ func (q *Queryable) lightEstimate(f flowkey.Key, from, to int64) []float64 {
 			}
 		}
 	}
-	return out
+	*sp = scratch
+	lightScratch.Put(sp)
 }
